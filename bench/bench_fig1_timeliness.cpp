@@ -1,0 +1,79 @@
+// EXP-F1 — Figure 1 reproduction.
+//
+// The paper's Figure 1 exhibits S = [(p1 q)^i (p2 q)^i]_{i>=1} and
+// claims that neither {p1} nor {p2} is timely w.r.t. {q}, while the
+// set {p1, p2} — viewed as one virtual process — is. The table prints
+// the minimal timeliness bound of each candidate on growing prefixes:
+// the singleton bounds diverge linearly with the phase index, the
+// union's bound is the constant 2.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/core/experiments.h"
+#include "src/sched/analyzer.h"
+#include "src/sched/generators.h"
+#include "src/util/table.h"
+
+namespace {
+
+void print_figure1_table() {
+  using namespace setlib;
+  const auto rows = core::figure1_rows(16);
+  TextTable table({"phase i", "prefix steps", "bound {p1} vs {q}",
+                   "bound {p2} vs {q}", "bound {p1,p2} vs {q}"});
+  for (const auto& row : rows) {
+    table.row()
+        .cell(row.phase)
+        .cell(row.prefix_len)
+        .cell(row.bound_p1)
+        .cell(row.bound_p2)
+        .cell(row.bound_union);
+  }
+  std::cout << "EXP-F1: Figure 1, S = [(p1 q)^i (p2 q)^i]\n"
+            << "Claim: singleton bounds diverge; the union is timely "
+               "with bound 2.\n"
+            << table.render() << "\n";
+}
+
+void BM_Figure1Generate(benchmark::State& state) {
+  const std::int64_t steps = state.range(0);
+  for (auto _ : state) {
+    setlib::sched::Figure1Generator gen(3, 0, 1, 2);
+    benchmark::DoNotOptimize(setlib::sched::generate(gen, steps));
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_Figure1Generate)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_MinTimelinessBound(benchmark::State& state) {
+  const std::int64_t steps = state.range(0);
+  setlib::sched::Figure1Generator gen(3, 0, 1, 2);
+  const auto schedule = setlib::sched::generate(gen, steps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setlib::sched::min_timeliness_bound(
+        schedule, setlib::ProcSet::of({0, 1}), setlib::ProcSet::of(2)));
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_MinTimelinessBound)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SystemMembershipBestPair(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  setlib::sched::UniformRandomGenerator gen(n, 42);
+  const auto schedule = setlib::sched::generate(gen, 4'000);
+  const setlib::sched::SystemMembership membership(schedule);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(membership.best_pair(2, n - 1));
+  }
+}
+BENCHMARK(BM_SystemMembershipBestPair)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure1_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

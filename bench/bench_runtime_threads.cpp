@@ -1,0 +1,96 @@
+// EXP-RT — the threaded runtime: end-to-end (t, k, n)-agreement latency
+// on real std::jthreads under the set-timeliness pacer, vs thread count
+// and pacer bound, plus pacer gate overhead.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/runtime/pacer.h"
+#include "src/runtime/rt_harness.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace setlib;
+
+void print_rt_table() {
+  TextTable table({"(t,k,n)", "crashes", "success", "distinct",
+                   "pacer steps", "elapsed ms", "witness bound"});
+  struct Row {
+    int t, k, n, crashes;
+  };
+  const Row rows[] = {{1, 1, 3, 0}, {2, 1, 4, 1}, {2, 2, 5, 2},
+                      {3, 2, 6, 2}, {3, 3, 6, 3}, {4, 2, 8, 3}};
+  for (const auto& row : rows) {
+    runtime::RtRunConfig cfg;
+    cfg.n = row.n;
+    cfg.k = row.k;
+    cfg.t = row.t;
+    cfg.crash_count = row.crashes;
+    cfg.crash_ops = 2'000;
+    const auto report = runtime::run_kset_threaded(cfg);
+    std::string spec("(");
+    spec.append(std::to_string(row.t)).append(",");
+    spec.append(std::to_string(row.k)).append(",");
+    spec.append(std::to_string(row.n)).append(")");
+    table.row()
+        .cell(spec)
+        .cell(row.crashes)
+        .cell(report.success ? "yes" : "NO")
+        .cell(report.distinct_decisions)
+        .cell(report.pacer_steps)
+        .cell(report.elapsed.count())
+        .cell(report.witness_bound);
+  }
+  std::cout << "EXP-RT: threaded Theorem 24 stack (jthreads + pacer)\n"
+            << table.render() << "\n";
+}
+
+void BM_ThreadedAgreement(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    runtime::RtRunConfig cfg;
+    cfg.n = n;
+    cfg.k = std::max(1, n / 3);
+    cfg.t = std::max(1, n / 2);
+    const auto report = runtime::run_kset_threaded(cfg);
+    benchmark::DoNotOptimize(report.success);
+  }
+}
+BENCHMARK(BM_ThreadedAgreement)->Arg(3)->Arg(5)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ThreadedAgreementVsBound(benchmark::State& state) {
+  const std::int64_t bound = state.range(0);
+  for (auto _ : state) {
+    runtime::RtRunConfig cfg;
+    cfg.n = 4;
+    cfg.k = 1;
+    cfg.t = 2;
+    cfg.bound = bound;
+    const auto report = runtime::run_kset_threaded(cfg);
+    benchmark::DoNotOptimize(report.success);
+  }
+}
+BENCHMARK(BM_ThreadedAgreementVsBound)->Arg(2)->Arg(8)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
+void BM_PacerGate(benchmark::State& state) {
+  runtime::Pacer pacer(
+      2, {sched::TimelinessConstraint(ProcSet::of(0), ProcSet::of(1), 1000)},
+      /*record_schedule=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pacer.step(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacerGate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_rt_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// EXP-SUB1 — substrate microbenchmarks: registers, coroutine step
+// dispatch, subset ranking, schedule generation and analysis, and the
+// threaded register implementation.
+#include <benchmark/benchmark.h>
+
+#include "src/runtime/rt_memory.h"
+#include "src/sched/analyzer.h"
+#include "src/sched/enforcer.h"
+#include "src/sched/generators.h"
+#include "src/shm/memory.h"
+#include "src/shm/process.h"
+#include "src/shm/program.h"
+#include "src/shm/simulator.h"
+#include "src/shm/snapshot.h"
+#include "src/util/procset.h"
+
+namespace {
+
+using namespace setlib;
+
+void BM_SimMemoryReadWrite(benchmark::State& state) {
+  shm::SimMemory mem;
+  const auto reg = mem.alloc("r");
+  mem.write(reg, shm::Value::of(1, 2, 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.read(reg));
+    mem.write(reg, shm::Value::of(4, 5, 6));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SimMemoryReadWrite);
+
+void BM_RtMemoryReadWrite(benchmark::State& state) {
+  runtime::RtMemory mem;
+  const auto reg = mem.alloc("r");
+  mem.write(reg, shm::Value::of(1, 2, 3));
+  mem.freeze();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.read(reg));
+    mem.write(reg, shm::Value::of(4, 5, 6));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_RtMemoryReadWrite);
+
+shm::Prog spin_reader(shm::RegisterId reg) {
+  for (;;) {
+    benchmark::DoNotOptimize(co_await shm::read(reg));
+  }
+}
+
+void BM_CoroutineStepDispatch(benchmark::State& state) {
+  shm::SimMemory mem;
+  const auto reg = mem.alloc("r");
+  shm::ProcessRuntime proc(0);
+  proc.add_task(spin_reader(reg), "spin");
+  for (auto _ : state) {
+    proc.step(mem);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoroutineStepDispatch);
+
+void BM_SubsetRank(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = n / 2;
+  SubsetRanker ranker(n, k);
+  std::int64_t r = 0;
+  for (auto _ : state) {
+    const ProcSet s = ranker.unrank(r % ranker.count());
+    benchmark::DoNotOptimize(ranker.rank(s));
+    ++r;
+  }
+}
+BENCHMARK(BM_SubsetRank)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_GeneratorThroughput(benchmark::State& state) {
+  sched::UniformRandomGenerator gen(8, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeneratorThroughput);
+
+void BM_EnforcedGeneratorThroughput(benchmark::State& state) {
+  auto base = std::make_unique<sched::UniformRandomGenerator>(8, 5);
+  auto gen = sched::EnforcedGenerator::single(
+      std::move(base), sched::TimelinessConstraint(
+                           ProcSet::range(0, 2), ProcSet::range(0, 5), 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen->next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnforcedGeneratorThroughput);
+
+shm::Prog snapshot_loop(shm::AtomicSnapshot* snap, Pid p) {
+  for (std::int64_t r = 1;; ++r) {
+    SETLIB_CO_RUN(snap->update(p, r));
+    std::vector<std::int64_t> out;
+    SETLIB_CO_RUN(snap->scan(p, &out));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_AtomicSnapshotSteps(benchmark::State& state) {
+  // Simulator steps/sec with every process doing update+scan loops.
+  const int n = static_cast<int>(state.range(0));
+  shm::SimMemory mem;
+  shm::AtomicSnapshot snap(mem, n, "snap");
+  shm::Simulator sim(mem, n);
+  for (Pid p = 0; p < n; ++p) {
+    sim.process(p).add_task(snapshot_loop(&snap, p), "snap");
+  }
+  sched::RoundRobinGenerator gen(n);
+  for (auto _ : state) {
+    sim.run(gen, 10'000);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_AtomicSnapshotSteps)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_AnalyzerScan(benchmark::State& state) {
+  const std::int64_t len = state.range(0);
+  sched::UniformRandomGenerator gen(8, 9);
+  const auto schedule = sched::generate(gen, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::min_timeliness_bound(
+        schedule, ProcSet::range(0, 2), ProcSet::range(2, 8)));
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_AnalyzerScan)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// EXP-T27 — the paper's main result as a table.
+//
+// For each (t, k, n), every system S^i_{j,n} is run against an
+// adversarial schedule family that provably lies in it, and the
+// observable frontier — does the Figure 2 algorithm still implement
+// t-resilient k-anti-Omega? — is compared against the Theorem 27
+// predicate: solvable iff i <= k and j - i >= t + 1 - k.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/core/experiments.h"
+
+namespace {
+
+using namespace setlib;
+
+void print_matrices() {
+  struct Spec {
+    int t, k, n;
+  };
+  const Spec specs[] = {{2, 1, 4}, {2, 2, 5}, {3, 2, 5}, {3, 1, 5},
+                        {3, 3, 6}};
+  int mismatches = 0;
+  int cells = 0;
+  for (const auto& spec : specs) {
+    core::MatrixConfig cfg;
+    cfg.spec = {spec.t, spec.k, spec.n};
+    cfg.max_steps = 900'000;
+    const auto matrix = core::thm27_matrix(cfg);
+    std::cout << core::render_matrix(cfg.spec, matrix) << "\n";
+    for (const auto& cell : matrix) {
+      ++cells;
+      if (!cell.matches) ++mismatches;
+    }
+  }
+  std::cout << "EXP-T27 summary: " << cells - mismatches << "/" << cells
+            << " cells match the Theorem 27 frontier\n\n";
+}
+
+void BM_MatrixCellSolvable(benchmark::State& state) {
+  for (auto _ : state) {
+    core::RunConfig cfg;
+    cfg.spec = {2, 2, 5};
+    cfg.system = {2, 3, 5};
+    cfg.family = core::ScheduleFamily::kRotisserie;
+    cfg.max_steps = 600'000;
+    benchmark::DoNotOptimize(core::run_agreement(cfg).success);
+  }
+}
+BENCHMARK(BM_MatrixCellSolvable)->Unit(benchmark::kMillisecond);
+
+void BM_MatrixCellUnsolvable(benchmark::State& state) {
+  for (auto _ : state) {
+    core::RunConfig cfg;
+    cfg.spec = {2, 1, 4};
+    cfg.system = {1, 2, 4};
+    cfg.family = core::ScheduleFamily::kRotisserie;
+    cfg.run_full_budget = true;
+    cfg.max_steps = 600'000;
+    benchmark::DoNotOptimize(
+        core::run_agreement(cfg).detector.abstract_ok);
+  }
+}
+BENCHMARK(BM_MatrixCellUnsolvable)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_matrices();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// BG simulation demo (the engine of Theorem 26's impossibility proof).
+//
+// Three simulators jointly execute five simulated full-information
+// threads; one simulator is crash-injected. The demo prints each
+// simulator's view of the thread decisions (they must agree — that is
+// the safe-agreement discipline), which threads got blocked by the
+// crash, and the timeliness shape of the simulated schedule.
+#include <iostream>
+#include <memory>
+
+#include "src/bg/bg_sim.h"
+#include "src/bg/threads.h"
+#include "src/sched/analyzer.h"
+#include "src/sched/generators.h"
+#include "src/shm/memory.h"
+#include "src/shm/simulator.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace setlib;
+  const int m = 3, n = 5;
+
+  shm::SimMemory mem;
+  bg::BGSimulation bg_sim(
+      mem, bg::BGSimulation::Params{m, n, /*horizon=*/10},
+      [](int u) { return std::make_unique<bg::MinInputThread>(100 + u, 6); });
+  shm::Simulator sim(mem, m);
+  for (Pid i = 0; i < m; ++i) {
+    sim.process(i).add_task(bg_sim.run(i), "bg");
+  }
+  sim.use_crash_plan(sched::CrashPlan::at(m, ProcSet::of(2), 6'000));
+
+  sched::RoundRobinGenerator gen(m);
+  sim.run(gen, 2'000'000);
+
+  std::cout << m << " simulators, " << n
+            << " simulated threads (inputs 100..104, decide after 6 "
+               "rounds); simulator 2 crashes at step 6000\n\n";
+
+  TextTable table({"thread", "steps (sim0)", "decision (sim0)",
+                   "decision (sim1)", "blocked"});
+  const ProcSet blocked = bg_sim.blocked_threads();
+  for (int u = 0; u < n; ++u) {
+    auto fmt = [&](int s) {
+      const auto d = bg_sim.thread_decision(s, u);
+      return d.has_value() ? std::to_string(*d) : std::string("-");
+    };
+    table.row()
+        .cell(u)
+        .cell(bg_sim.steps_of(0, u))
+        .cell(fmt(0))
+        .cell(fmt(1))
+        .cell(blocked.contains(u) ? "yes" : "no");
+  }
+  table.print(std::cout);
+
+  const sched::Schedule& simulated = bg_sim.simulated_schedule();
+  std::cout << "\nsimulated schedule: " << simulated.size()
+            << " steps; every " << m << "-subset of threads timely "
+            << "w.r.t. all " << n << " threads with bound <= ";
+  std::int64_t worst = 0;
+  for (const ProcSet s : k_subsets(n, m)) {
+    worst = std::max(worst, sched::min_timeliness_bound(
+                                simulated, s, ProcSet::universe(n)));
+  }
+  std::cout << worst << " (property (ii) of the Theorem 26 proof).\n";
+  std::cout << "A crashed simulator blocks at most one thread — property "
+               "(i): blocked = "
+            << blocked.to_string() << ".\n";
+  return 0;
+}

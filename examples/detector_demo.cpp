@@ -1,0 +1,73 @@
+// Watch the Figure 2 algorithm converge.
+//
+// Runs t-resilient k-anti-Omega for (n=5, k=2, t=2) on a schedule of
+// S^2_{3,5} with two tail crashes, sampling each process's winnerset as
+// the run proceeds, then prints the final accusation evidence: the
+// Counter[A, q] matrix rows of the winning set vs. a crashed set.
+#include <iostream>
+#include <memory>
+
+#include "src/fd/kantiomega.h"
+#include "src/fd/property.h"
+#include "src/sched/enforcer.h"
+#include "src/sched/generators.h"
+#include "src/shm/memory.h"
+#include "src/shm/simulator.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace setlib;
+  const int n = 5, k = 2, t = 2;
+
+  shm::SimMemory mem;
+  fd::KAntiOmega detector(mem, fd::KAntiOmega::Params{n, k, t, 1});
+  shm::Simulator sim(mem, n);
+  for (Pid p = 0; p < n; ++p) {
+    sim.process(p).add_task(detector.run(p), "kanti-omega");
+  }
+
+  const auto plan = sched::CrashPlan::at(n, ProcSet::of({3, 4}), 15'000);
+  sim.use_crash_plan(plan);
+  auto base = std::make_unique<sched::UniformRandomGenerator>(n, 2026);
+  std::vector<sched::TimelinessConstraint> constraints{
+      sched::TimelinessConstraint(ProcSet::range(0, k),
+                                  ProcSet::range(0, t + 1), 3)};
+  sched::EnforcedGenerator gen(std::move(base), std::move(constraints),
+                               plan);
+
+  std::cout << "t-resilient k-anti-Omega, n=5 k=2 t=2, schedule in "
+               "S^2_{3,5}; processes 3,4 crash at step 15000\n\n";
+  TextTable trace({"steps", "ws(p0)", "ws(p1)", "ws(p2)", "iter(p0)"});
+  for (int sample = 0; sample < 12; ++sample) {
+    sim.run(gen, 12'000);
+    trace.row()
+        .cell(sim.steps_taken())
+        .cell(detector.view(0).winnerset.to_string())
+        .cell(detector.view(1).winnerset.to_string())
+        .cell(detector.view(2).winnerset.to_string())
+        .cell(detector.view(0).iterations);
+  }
+  trace.print(std::cout);
+
+  const ProcSet correct = ProcSet::range(0, 3);
+  const auto check = fd::check_kantiomega(detector, correct, 6);
+  std::cout << "\nfinal: " << check.detail << "\n\n";
+
+  // Accusation evidence: the winning set's counter row stays frozen at
+  // small values; a set containing only crashed processes diverges.
+  const auto show_row = [&](ProcSet set) {
+    std::cout << "Counter[" << set.to_string() << ", *] = ";
+    const auto rank = detector.ranker().rank(set);
+    for (Pid qp = 0; qp < n; ++qp) {
+      std::cout << mem.peek(detector.counter_reg(rank, qp)).as_int_or(0)
+                << ' ';
+    }
+    std::cout << "\n";
+  };
+  show_row(check.winnerset);
+  show_row(ProcSet::of({3, 4}));
+  std::cout << "\nThe (t+1)-st smallest entry is the accusation counter: "
+               "frozen for the\nwinnerset, divergent for the crashed "
+               "set (Lemmas 11/12 of the paper).\n";
+  return check.ok ? 0 : 1;
+}

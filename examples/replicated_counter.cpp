@@ -1,0 +1,71 @@
+// A replicated counter on top of the paper's stack.
+//
+// Multi-shot consensus (k = 1) over the Figure 2 detector gives a
+// replicated command log: each process submits "add x" commands, all
+// correct processes decide the same command per slot, and applying the
+// log yields the same counter value everywhere — even though two
+// replicas crash mid-run. This is the downstream-user view of
+// Theorem 24: S^1_{t+1,n} is enough synchrony to replicate state.
+#include <iostream>
+#include <memory>
+
+#include "src/agreement/multishot.h"
+#include "src/fd/kantiomega.h"
+#include "src/sched/enforcer.h"
+#include "src/sched/generators.h"
+#include "src/shm/memory.h"
+#include "src/shm/simulator.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace setlib;
+  const int n = 5, k = 1, t = 2, slots = 8;
+
+  shm::SimMemory mem;
+  fd::KAntiOmega detector(mem, fd::KAntiOmega::Params{n, k, t, 1});
+  agreement::MultiShotAgreement log(
+      mem, agreement::MultiShotAgreement::Params{n, k, t, slots},
+      &detector);
+  shm::Simulator sim(mem, n);
+  for (Pid p = 0; p < n; ++p) {
+    sim.process(p).add_task(detector.run(p), "fd");
+    std::vector<std::int64_t> commands;  // "add (p+1)*10^s-ish" amounts
+    for (int s = 0; s < slots; ++s) commands.push_back((p + 1) * 10 + s);
+    log.install(sim.process(p), p, std::move(commands));
+  }
+
+  const auto plan = sched::CrashPlan::at(n, ProcSet::of({3, 4}), 80'000);
+  sim.use_crash_plan(plan);
+  auto base = std::make_unique<sched::UniformRandomGenerator>(n, 4242);
+  std::vector<sched::TimelinessConstraint> constraints{
+      sched::TimelinessConstraint(ProcSet::of(0), ProcSet::range(0, t + 1),
+                                  3)};
+  sched::EnforcedGenerator gen(std::move(base), std::move(constraints),
+                               plan);
+  const ProcSet correct = plan.faulty().complement(n);
+  sim.run_until(gen, 8'000'000, [&] { return log.all_decided(correct); });
+
+  std::cout << "Replicated counter via multi-shot consensus "
+               "(n=5, t=2, 8 slots; replicas 3,4 crash at step 80000)\n\n";
+  TextTable table({"slot", "decided command", "proposer", "counter"});
+  std::int64_t counter = 0;
+  for (int s = 0; s < slots; ++s) {
+    const auto values = log.slot_values(s, correct);
+    if (values.size() != 1) {
+      std::cout << "slot " << s << ": INCONSISTENT\n";
+      return 1;
+    }
+    counter += values[0];
+    table.row()
+        .cell(s)
+        .cell("add " + std::to_string(values[0]))
+        .cell("p" + std::to_string(values[0] / 10 - 1))
+        .cell(counter);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAll correct replicas apply the same log; final counter "
+            << "value everywhere: " << counter << "\n";
+  std::cout << "steps executed: " << sim.steps_taken() << "\n";
+  return 0;
+}

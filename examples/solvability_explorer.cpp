@@ -1,0 +1,83 @@
+// Interactive-ish explorer for Theorem 27.
+//
+// Usage:
+//   solvability_explorer                  — print the frontier matrix
+//                                           for a few (t, k, n) specs
+//   solvability_explorer t k n            — matrix for one spec
+//   solvability_explorer t k n i j        — one query, with the
+//                                           matching-system hint
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/experiments.h"
+#include "src/core/solvability.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace setlib;
+
+void print_predicate_matrix(const core::AgreementSpec& spec) {
+  TextTable table({"i \\ j", "1", "2", "3", "4", "5", "6", "7", "8"});
+  for (int i = 1; i <= spec.n; ++i) {
+    auto& row = table.row().cell(i);
+    for (int j = 1; j <= 8; ++j) {
+      if (j > spec.n) {
+        row.cell("");
+      } else if (j < i) {
+        row.cell(".");
+      } else {
+        row.cell(core::solvable(spec, {i, j, spec.n}) ? "S" : "u");
+      }
+    }
+  }
+  std::cout << spec.to_string() << " in S^i_{j," << spec.n
+            << "}  (S = solvable, u = unsolvable; Thm 27: S iff i <= "
+            << spec.k << " and j-i >= " << spec.t + 1 - spec.k << ")\n"
+            << table.render() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace setlib;
+
+  if (argc == 6) {
+    const core::AgreementSpec spec{std::atoi(argv[1]), std::atoi(argv[2]),
+                                   std::atoi(argv[3])};
+    const core::SystemSpec sys{std::atoi(argv[4]), std::atoi(argv[5]),
+                               spec.n};
+    const bool answer = core::solvable(spec, sys);
+    std::cout << spec.to_string() << " in " << sys.to_string() << ": "
+              << (answer ? "SOLVABLE" : "UNSOLVABLE") << "\n";
+    const auto match = core::matching_system(spec);
+    std::cout << "matching system (Theorem 24): " << match.to_string()
+              << "\n";
+    return 0;
+  }
+
+  if (argc == 4) {
+    const core::AgreementSpec spec{std::atoi(argv[1]), std::atoi(argv[2]),
+                                   std::atoi(argv[3])};
+    print_predicate_matrix(spec);
+    if (spec.k <= spec.t) {
+      std::cout << "Running the empirical matrix (detector frontier + "
+                   "solver) ...\n\n";
+      core::MatrixConfig cfg;
+      cfg.spec = spec;
+      cfg.max_steps = 900'000;
+      std::cout << core::render_matrix(spec, core::thm27_matrix(cfg));
+    }
+    return 0;
+  }
+
+  for (const auto& spec : {core::AgreementSpec{2, 1, 4},
+                           core::AgreementSpec{2, 2, 5},
+                           core::AgreementSpec{3, 2, 6},
+                           core::AgreementSpec{4, 3, 8}}) {
+    print_predicate_matrix(spec);
+  }
+  std::cout << "Run with arguments `t k n` for the empirical matrix, or "
+               "`t k n i j` for one query.\n";
+  return 0;
+}

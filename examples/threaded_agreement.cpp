@@ -1,0 +1,50 @@
+// The full Theorem 24 stack on real threads.
+//
+// Each process is a std::jthread multiplexing the Figure 2 detector and
+// k Paxos instances; the pacer enforces that the first k processes stay
+// timely w.r.t. the first t+1 (a live S^k_{t+1,n} system); two
+// processes are crash-injected mid-run.
+#include <iostream>
+
+#include "src/runtime/rt_harness.h"
+
+int main() {
+  using namespace setlib;
+
+  runtime::RtRunConfig cfg;
+  cfg.n = 6;
+  cfg.k = 2;
+  cfg.t = 3;
+  cfg.bound = 6;
+  cfg.crash_count = 2;
+  cfg.crash_ops = 4'000;
+
+  std::cout << "Threaded (t=3, k=2, n=6)-agreement in S^2_{4,6}: 6 "
+               "jthreads,\npacer bound 6, processes 4 and 5 crash after "
+               "4000 ops each.\n\n";
+  const auto report = runtime::run_kset_threaded(cfg);
+
+  std::cout << "all done:        " << (report.all_done ? "yes" : "no")
+            << "\n";
+  std::cout << "faulty:          " << report.faulty << "\n";
+  std::cout << "decisions:       ";
+  for (int p = 0; p < cfg.n; ++p) {
+    const auto& d = report.decisions[static_cast<std::size_t>(p)];
+    std::cout << "p" << p << "="
+              << (d.has_value() ? std::to_string(*d) : "?") << " ";
+  }
+  std::cout << "\n";
+  std::cout << "distinct values: " << report.distinct_decisions
+            << " (k = " << cfg.k << ")\n";
+  std::cout << "pacer steps:     " << report.pacer_steps << "\n";
+  std::cout << "witness bound:   " << report.witness_bound
+            << " (measured on the pacer's serialized schedule)\n";
+  std::cout << "elapsed:         " << report.elapsed.count() << " ms\n";
+  std::cout << "detector:        "
+            << (report.detector_stabilized ? "stabilized" : "oscillating")
+            << ", abstract property "
+            << (report.detector_abstract_ok ? "holds" : "n/a") << "\n";
+  std::cout << "verdict:         " << report.detail << "\n";
+  std::cout << (report.success ? "SUCCESS" : "FAILURE") << "\n";
+  return report.success ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+#include "src/agreement/validator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/assert.h"
+
+namespace setlib::agreement {
+
+AgreementVerdict validate_agreement(
+    int t, int k, int n, const std::vector<std::int64_t>& proposals,
+    const std::vector<std::optional<std::int64_t>>& decisions,
+    ProcSet faulty) {
+  SETLIB_EXPECTS(n >= 1 && n <= kMaxProcs);
+  SETLIB_EXPECTS(t >= 0 && t <= n - 1);
+  SETLIB_EXPECTS(k >= 1);
+  SETLIB_EXPECTS(proposals.size() == static_cast<std::size_t>(n));
+  SETLIB_EXPECTS(decisions.size() == static_cast<std::size_t>(n));
+
+  AgreementVerdict out;
+
+  std::vector<std::int64_t> decided_values;
+  for (Pid p = 0; p < n; ++p) {
+    if (decisions[static_cast<std::size_t>(p)].has_value()) {
+      decided_values.push_back(*decisions[static_cast<std::size_t>(p)]);
+    }
+  }
+  std::sort(decided_values.begin(), decided_values.end());
+  decided_values.erase(
+      std::unique(decided_values.begin(), decided_values.end()),
+      decided_values.end());
+  out.distinct_values = static_cast<int>(decided_values.size());
+  out.agreement_ok = out.distinct_values <= k;
+
+  out.validity_ok = true;
+  for (std::int64_t v : decided_values) {
+    if (std::find(proposals.begin(), proposals.end(), v) == proposals.end()) {
+      out.validity_ok = false;
+    }
+  }
+
+  out.termination_ok = true;
+  if (faulty.size() <= t) {
+    for (Pid p : faulty.complement(n).to_vector()) {
+      if (!decisions[static_cast<std::size_t>(p)].has_value()) {
+        out.termination_ok = false;
+      }
+    }
+  }
+
+  out.ok = out.agreement_ok && out.validity_ok && out.termination_ok;
+
+  std::ostringstream os;
+  os << "distinct=" << out.distinct_values << "/" << k
+     << " agreement=" << (out.agreement_ok ? "ok" : "VIOLATED")
+     << " validity=" << (out.validity_ok ? "ok" : "VIOLATED")
+     << " termination="
+     << (faulty.size() > t ? "vacuous"
+                           : (out.termination_ok ? "ok" : "incomplete"));
+  out.detail = os.str();
+  return out;
+}
+
+}  // namespace setlib::agreement

@@ -1,0 +1,37 @@
+// Outcome validation for (t, k, n)-agreement runs (Section 3):
+//   - uniform k-agreement: at most k distinct decided values;
+//   - uniform validity: every decision is some process's initial value;
+//   - termination: if at most t processes are faulty, every correct
+//     process decided (within the run's step budget).
+#ifndef SETLIB_AGREEMENT_VALIDATOR_H
+#define SETLIB_AGREEMENT_VALIDATOR_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/procset.h"
+
+namespace setlib::agreement {
+
+struct AgreementVerdict {
+  bool agreement_ok = false;
+  bool validity_ok = false;
+  bool termination_ok = false;
+  bool ok = false;
+  int distinct_values = 0;
+  std::string detail;
+};
+
+/// `decisions[p]` is p's decision (nullopt = undecided). `faulty` is the
+/// run's faulty set. Termination is evaluated only if |faulty| <= t (the
+/// problem's precondition); otherwise it passes vacuously.
+AgreementVerdict validate_agreement(
+    int t, int k, int n, const std::vector<std::int64_t>& proposals,
+    const std::vector<std::optional<std::int64_t>>& decisions,
+    ProcSet faulty);
+
+}  // namespace setlib::agreement
+
+#endif  // SETLIB_AGREEMENT_VALIDATOR_H

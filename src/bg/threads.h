@@ -1,0 +1,64 @@
+// Stock simulated-thread programs for BG experiments and tests.
+#ifndef SETLIB_BG_THREADS_H
+#define SETLIB_BG_THREADS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/bg/bg_sim.h"
+
+namespace setlib::bg {
+
+/// Writes its input, runs `rounds` collect steps, then halts deciding
+/// the minimum input visible in its final collect. Terminating and
+/// deterministic — the workhorse for simulation-correctness tests (all
+/// simulators must compute identical decisions), and a stand-in for a
+/// full-information agreement protocol: decisions are valid (some
+/// thread's input) and converge as rounds grow.
+class MinInputThread final : public SimThreadProgram {
+ public:
+  MinInputThread(std::int64_t input, std::int64_t rounds)
+      : input_(input), rounds_(rounds) {}
+
+  std::int64_t initial_write() override { return input_; }
+
+  Action on_snapshot(std::int64_t s,
+                     const std::vector<CellView>& collect) override {
+    if (s >= rounds_) {
+      std::int64_t best = input_;
+      for (const auto& c : collect) {
+        if (c.step > 0) best = std::min(best, c.value);
+      }
+      return Action{true, best, 0};
+    }
+    return Action{false, 0, input_};
+  }
+
+ private:
+  std::int64_t input_;
+  std::int64_t rounds_;
+};
+
+/// Never halts; writes the step number. Used for long-run simulated-
+/// schedule property experiments (timeliness of the simulated run).
+class ForeverThread final : public SimThreadProgram {
+ public:
+  explicit ForeverThread(std::int64_t input) : input_(input) {}
+
+  std::int64_t initial_write() override { return input_; }
+
+  Action on_snapshot(std::int64_t s,
+                     const std::vector<CellView>& collect) override {
+    (void)collect;
+    return Action{false, 0, input_ + s};
+  }
+
+ private:
+  std::int64_t input_;
+};
+
+}  // namespace setlib::bg
+
+#endif  // SETLIB_BG_THREADS_H

@@ -1,0 +1,238 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "src/agreement/kset.h"
+#include "src/agreement/trivial.h"
+#include "src/agreement/validator.h"
+#include "src/fd/kantiomega.h"
+#include "src/fd/property.h"
+#include "src/sched/analyzer.h"
+#include "src/sched/enforcer.h"
+#include "src/shm/memory.h"
+#include "src/shm/simulator.h"
+#include "src/util/assert.h"
+
+namespace setlib::core {
+
+namespace {
+
+struct FamilySetup {
+  std::unique_ptr<sched::ScheduleGenerator> generator;
+  sched::CrashPlan plan;
+  ProcSet timely_set;
+  ProcSet observed_set;
+
+  explicit FamilySetup(int n) : plan(n) {}
+};
+
+FamilySetup make_friendly(const RunConfig& cfg) {
+  const int n = cfg.spec.n;
+  FamilySetup setup(n);
+  setup.timely_set = ProcSet::range(0, cfg.system.i);
+  setup.observed_set = ProcSet::range(0, cfg.system.j);
+  setup.plan = cfg.crashes.value_or(sched::CrashPlan::none(n));
+  SETLIB_EXPECTS(setup.plan.n() == n);
+  auto base =
+      std::make_unique<sched::UniformRandomGenerator>(n, cfg.seed);
+  std::vector<sched::TimelinessConstraint> constraints;
+  constraints.emplace_back(setup.timely_set, setup.observed_set,
+                           cfg.timeliness_bound);
+  setup.generator = std::make_unique<sched::EnforcedGenerator>(
+      std::move(base), std::move(constraints), setup.plan);
+  return setup;
+}
+
+FamilySetup make_rotisserie(const RunConfig& cfg) {
+  const int n = cfg.spec.n;
+  FamilySetup setup(n);
+  const int gap = cfg.system.j - cfg.system.i;
+  const int crash_count = std::min(gap, cfg.spec.t);
+  SETLIB_EXPECTS(crash_count == gap);  // j - i > t cells use the
+                                       // friendly family instead
+  const ProcSet crashed = ProcSet::range(n - crash_count, n);
+  const ProcSet live = crashed.complement(n);
+  SETLIB_ASSERT(live.size() >= cfg.system.i);
+  setup.plan = sched::CrashPlan::at(n, crashed, 0);
+  // P = first i live processes; Q = P plus the crashed processes. The
+  // only Q members that ever step are P members, so P is timely w.r.t.
+  // Q with bound 1: the schedule is in S^i_{j,n} by construction.
+  ProcSet p;
+  for (Pid x : live.to_vector()) {
+    if (p.size() < cfg.system.i) p = p.with(x);
+  }
+  setup.timely_set = p;
+  setup.observed_set = p | crashed;
+  SETLIB_ASSERT(setup.observed_set.size() == cfg.system.j);
+  setup.generator = std::make_unique<sched::RotatingStarverGenerator>(
+      n, live, ProcSet(), cfg.rotisserie_growth);
+  return setup;
+}
+
+FamilySetup make_starver(const RunConfig& cfg) {
+  const int n = cfg.spec.n;
+  FamilySetup setup(n);
+  // All processes stay correct; starvation rotates over k-subsets. The
+  // witness pair: any i > k processes always include an active one, so
+  // P = first i pids is timely w.r.t. anything, in particular the first
+  // j pids.
+  setup.timely_set = ProcSet::range(0, cfg.system.i);
+  setup.observed_set = ProcSet::range(0, cfg.system.j);
+  setup.generator = std::make_unique<sched::KSubsetStarverGenerator>(
+      n, ProcSet::universe(n), cfg.spec.k, cfg.rotisserie_growth);
+  return setup;
+}
+
+}  // namespace
+
+RunReport run_agreement(const RunConfig& cfg) {
+  cfg.spec.validate();
+  cfg.system.validate();
+  SETLIB_EXPECTS(cfg.spec.n == cfg.system.n);
+  SETLIB_EXPECTS(cfg.max_steps > 0);
+  const int n = cfg.spec.n;
+  const int k = cfg.spec.k;
+  const int t = cfg.spec.t;
+
+  std::vector<std::int64_t> proposals = cfg.proposals;
+  if (proposals.empty()) {
+    for (Pid p = 0; p < n; ++p) proposals.push_back(100 + p);
+  }
+  SETLIB_EXPECTS(proposals.size() == static_cast<std::size_t>(n));
+
+  FamilySetup setup = [&] {
+    switch (cfg.family) {
+      case ScheduleFamily::kEnforcedRandom:
+        return make_friendly(cfg);
+      case ScheduleFamily::kRotisserie:
+        return make_rotisserie(cfg);
+      case ScheduleFamily::kKSubsetStarver:
+        return make_starver(cfg);
+    }
+    SETLIB_ASSERT(false);
+    return make_friendly(cfg);
+  }();
+
+  shm::SimMemory mem;
+  shm::Simulator sim(mem, n);
+  sim.use_crash_plan(setup.plan);
+
+  RunReport report;
+  report.timely_set = setup.timely_set;
+  report.observed_set = setup.observed_set;
+  report.decisions.assign(static_cast<std::size_t>(n), std::nullopt);
+
+  const ProcSet planned_correct = setup.plan.faulty().complement(n);
+
+  if (k > t) {
+    // Corollary 25's trivial regime: solvable under full asynchrony.
+    report.algorithm = "trivial";
+    agreement::TrivialAgreement algo(mem, n, t);
+    std::vector<agreement::TrivialAgreement::Outcome> outs(
+        static_cast<std::size_t>(n));
+    for (Pid p = 0; p < n; ++p) {
+      sim.process(p).add_task(
+          algo.run(p, proposals[static_cast<std::size_t>(p)],
+                   &outs[static_cast<std::size_t>(p)]),
+          "trivial");
+    }
+    auto all_correct_decided = [&] {
+      if (cfg.run_full_budget) return false;
+      const ProcSet correct = sim.crashed_set().complement(n);
+      for (Pid p : correct.to_vector()) {
+        if (!outs[static_cast<std::size_t>(p)].decided) return false;
+      }
+      return true;
+    };
+    report.steps_executed =
+        sim.run_until(*setup.generator, cfg.max_steps, all_correct_decided);
+    for (Pid p = 0; p < n; ++p) {
+      if (outs[static_cast<std::size_t>(p)].decided) {
+        report.decisions[static_cast<std::size_t>(p)] =
+            outs[static_cast<std::size_t>(p)].value;
+      }
+    }
+  } else {
+    report.algorithm = "kanti-omega+paxos";
+    fd::KAntiOmega detector(mem, fd::KAntiOmega::Params{n, k, t, 1});
+    agreement::KSetAgreement kset(mem,
+                                  agreement::KSetAgreement::Params{n, k, t},
+                                  &detector);
+    for (Pid p = 0; p < n; ++p) {
+      sim.process(p).add_task(detector.run(p), "kanti-omega");
+      kset.install(sim.process(p), p,
+                   proposals[static_cast<std::size_t>(p)]);
+    }
+    auto all_correct_decided = [&] {
+      if (cfg.run_full_budget) return false;
+      return kset.all_decided(sim.crashed_set().complement(n));
+    };
+    report.steps_executed =
+        sim.run_until(*setup.generator, cfg.max_steps, all_correct_decided);
+    for (Pid p = 0; p < n; ++p) {
+      if (kset.decided(p)) {
+        report.decisions[static_cast<std::size_t>(p)] =
+            kset.outcome(p).value;
+      }
+    }
+    report.detector.used = true;
+    const ProcSet correct = sim.crashed_set().complement(n);
+    // "Eventually forever" on a finite run: require quiescence over the
+    // trailing third of the slowest correct process's iterations (with
+    // the configured window as a floor), so slow oscillation on long
+    // runs is not mistaken for convergence.
+    std::int64_t min_it = -1;
+    for (Pid p : correct.to_vector()) {
+      const auto it = detector.view(p).iterations;
+      min_it = min_it < 0 ? it : std::min(min_it, it);
+    }
+    const std::int64_t window =
+        std::max(cfg.stabilization_window, std::max<std::int64_t>(min_it, 0) / 3);
+    const auto prop = fd::check_kantiomega(detector, correct, window);
+    report.detector.stabilized = prop.stabilized;
+    report.detector.winnerset = prop.winnerset;
+    report.detector.winnerset_has_correct = prop.has_correct_winner;
+    report.detector.trusted = prop.trusted;
+    report.detector.abstract_ok = prop.abstract_ok;
+    std::int64_t max_it = 0;
+    for (Pid p : correct.to_vector()) {
+      const auto& v = detector.view(p);
+      max_it = std::max(max_it, v.iterations);
+      report.detector.total_winnerset_changes += v.winnerset_changes;
+    }
+    report.detector.min_iterations = std::max<std::int64_t>(min_it, 0);
+    report.detector.max_iterations = max_it;
+  }
+
+  report.faulty = sim.crashed_set();
+  SETLIB_ASSERT(report.faulty == planned_correct.complement(n) ||
+                report.faulty.subset_of(planned_correct.complement(n)));
+
+  const auto verdict = agreement::validate_agreement(
+      t, k, n, proposals, report.decisions, report.faulty);
+  report.terminated = verdict.termination_ok;
+  report.agreement_ok = verdict.agreement_ok;
+  report.validity_ok = verdict.validity_ok;
+  report.distinct_decisions = verdict.distinct_values;
+  report.success = verdict.ok;
+
+  report.witness_bound = sched::min_timeliness_bound(
+      sim.executed(), setup.timely_set, setup.observed_set);
+
+  std::ostringstream os;
+  os << verdict.detail << " steps=" << report.steps_executed
+     << " witness_bound=" << report.witness_bound;
+  if (report.detector.used) {
+    os << " detector="
+       << (report.detector.stabilized ? "stable" : "oscillating");
+    if (report.detector.stabilized) {
+      os << " winnerset=" << report.detector.winnerset;
+    }
+  }
+  report.detail = os.str();
+  return report;
+}
+
+}  // namespace setlib::core

@@ -1,0 +1,187 @@
+#include "src/core/experiments.h"
+
+#include <memory>
+#include <sstream>
+
+#include "src/core/solvability.h"
+#include "src/fd/kantiomega.h"
+#include "src/fd/property.h"
+#include "src/sched/analyzer.h"
+#include "src/sched/enforcer.h"
+#include "src/sched/generators.h"
+#include "src/shm/memory.h"
+#include "src/shm/simulator.h"
+#include "src/util/assert.h"
+#include "src/util/table.h"
+
+namespace setlib::core {
+
+std::vector<Figure1Row> figure1_rows(std::int64_t max_phase) {
+  SETLIB_EXPECTS(max_phase >= 1);
+  const int n = 3;
+  const Pid p1 = 0, p2 = 1, q = 2;
+  sched::Figure1Generator gen(n, p1, p2, q);
+  const std::int64_t total =
+      sched::Figure1Generator::steps_through_phase(max_phase);
+  const sched::Schedule s = sched::generate(gen, total);
+
+  std::vector<Figure1Row> rows;
+  for (std::int64_t phase = 1; phase <= max_phase; ++phase) {
+    const std::int64_t cut =
+        sched::Figure1Generator::steps_through_phase(phase);
+    Figure1Row row;
+    row.phase = phase;
+    row.prefix_len = cut;
+    row.bound_p1 = sched::min_timeliness_bound(s, ProcSet::of(p1),
+                                               ProcSet::of(q), 0, cut);
+    row.bound_p2 = sched::min_timeliness_bound(s, ProcSet::of(p2),
+                                               ProcSet::of(q), 0, cut);
+    row.bound_union = sched::min_timeliness_bound(
+        s, ProcSet::of({p1, p2}), ProcSet::of(q), 0, cut);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+DetectorRunResult run_detector_convergence(const DetectorRunConfig& cfg) {
+  SETLIB_EXPECTS(cfg.n >= 2);
+  SETLIB_EXPECTS(cfg.k >= 1 && cfg.k <= cfg.n - 1);
+  SETLIB_EXPECTS(cfg.t >= 1 && cfg.t <= cfg.n - 1);
+  SETLIB_EXPECTS(cfg.crash_count >= 0 && cfg.crash_count <= cfg.t);
+
+  const int n = cfg.n;
+  sched::CrashPlan plan = sched::CrashPlan::none(n);
+  if (cfg.crash_count > 0) {
+    plan = sched::CrashPlan::at(n, ProcSet::range(n - cfg.crash_count, n),
+                                cfg.crash_step);
+  }
+  // Witness pair: P = first k pids, Q = first t+1 pids (all alive, since
+  // crashes hit the tail and crash_count <= t < t+1 <= n ... Q may
+  // include crashed pids when t + 1 > n - crash_count; that only makes
+  // the constraint easier, and P stays alive).
+  const ProcSet p = ProcSet::range(0, cfg.k);
+  const ProcSet q = ProcSet::range(0, std::min(cfg.t + 1, n));
+  std::unique_ptr<sched::ScheduleGenerator> base;
+  if (cfg.timely_weight == 1.0) {
+    base = std::make_unique<sched::UniformRandomGenerator>(n, cfg.seed);
+  } else {
+    SETLIB_EXPECTS(cfg.timely_weight >= 0.0);
+    std::vector<double> weights(static_cast<std::size_t>(n), 1.0);
+    for (Pid member : p.to_vector()) {
+      weights[static_cast<std::size_t>(member)] = cfg.timely_weight;
+    }
+    base = std::make_unique<sched::WeightedRandomGenerator>(
+        std::move(weights), cfg.seed);
+  }
+  std::vector<sched::TimelinessConstraint> constraints;
+  constraints.emplace_back(p, q, cfg.bound);
+  sched::EnforcedGenerator gen(std::move(base), std::move(constraints),
+                               plan);
+
+  shm::SimMemory mem;
+  shm::Simulator sim(mem, n);
+  sim.use_crash_plan(plan);
+  fd::KAntiOmega detector(mem,
+                          fd::KAntiOmega::Params{n, cfg.k, cfg.t, 1});
+  for (Pid pid = 0; pid < n; ++pid) {
+    sim.process(pid).add_task(detector.run(pid), "kanti-omega");
+  }
+
+  const ProcSet correct = plan.faulty().complement(n);
+  auto stop = [&] {
+    return detector.stabilized(correct, cfg.stabilization_window);
+  };
+  const std::int64_t steps = sim.run_until(gen, cfg.max_steps, stop);
+
+  DetectorRunResult out;
+  out.steps = steps;
+  const auto prop = fd::check_kantiomega(detector, correct,
+                                         cfg.stabilization_window);
+  out.stabilized = prop.stabilized;
+  out.property_ok = prop.ok;
+  out.winnerset = prop.winnerset;
+  for (Pid pid : correct.to_vector()) {
+    const auto& v = detector.view(pid);
+    out.max_iterations = std::max(out.max_iterations, v.iterations);
+    out.winnerset_changes += v.winnerset_changes;
+  }
+  // Cost model: per loop iteration, Figure 2 performs |Pi_n^k| * n
+  // counter reads + 1 heartbeat write + n heartbeat reads + at most
+  // |Pi_n^k| counter writes.
+  const std::int64_t sets = detector.ranker().count();
+  out.ops_per_iteration = sets * n + 1 + n + sets;
+  return out;
+}
+
+std::vector<MatrixCell> thm27_matrix(const MatrixConfig& cfg) {
+  cfg.spec.validate();
+  SETLIB_EXPECTS(cfg.spec.k <= cfg.spec.t);  // the Theorem 27 regime
+  std::vector<MatrixCell> cells;
+  for (int i = 1; i <= cfg.spec.n; ++i) {
+    for (int j = i; j <= cfg.spec.n; ++j) {
+      RunConfig rc;
+      rc.spec = cfg.spec;
+      rc.system = SystemSpec{i, j, cfg.spec.n};
+      rc.seed = cfg.seed;
+      rc.max_steps = cfg.max_steps;
+      rc.rotisserie_growth = cfg.rotisserie_growth;
+      rc.timeliness_bound = cfg.friendly_bound;
+      rc.stabilization_window = cfg.stabilization_window;
+      rc.run_full_budget = true;
+
+      MatrixCell cell;
+      cell.i = i;
+      cell.j = j;
+      cell.predicted_solvable =
+          solvable(cfg.spec, SystemSpec{i, j, cfg.spec.n});
+      if (i > cfg.spec.k) {
+        rc.family = ScheduleFamily::kKSubsetStarver;
+        cell.family = "k-subset starver";
+      } else if (j - i <= cfg.spec.t) {
+        rc.family = ScheduleFamily::kRotisserie;
+        cell.family = "rotisserie";
+      } else {
+        rc.family = ScheduleFamily::kEnforcedRandom;
+        cell.family = "friendly";
+      }
+
+      const RunReport report = run_agreement(rc);
+      cell.detector_property = report.detector.abstract_ok;
+      cell.solver_success = report.success;
+      // Frontier check: on solvable cells the detector property and
+      // the solver must both come through; on unsolvable cells the
+      // adversary must defeat the detector property (a lucky solver
+      // decision on an oblivious schedule is possible and allowed).
+      cell.matches = cell.predicted_solvable
+                         ? (cell.detector_property && cell.solver_success)
+                         : !cell.detector_property;
+      cell.detail = report.detail;
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+std::string render_matrix(const AgreementSpec& spec,
+                          const std::vector<MatrixCell>& cells) {
+  TextTable table({"i", "j", "predicted (Thm 27)", "k-anti-Omega property",
+                   "solver", "family", "frontier check"});
+  for (const auto& c : cells) {
+    table.row()
+        .cell(c.i)
+        .cell(c.j)
+        .cell(c.predicted_solvable ? "solvable" : "unsolvable")
+        .cell(c.detector_property ? "holds" : "defeated")
+        .cell(c.solver_success ? "decided" : "no decision")
+        .cell(c.family)
+        .cell(c.matches ? "MATCH" : "MISMATCH");
+  }
+  std::ostringstream os;
+  os << "Theorem 27 frontier for " << spec.to_string()
+     << ": solvable iff i <= " << spec.k
+     << " and j - i >= " << (spec.t + 1 - spec.k) << "\n"
+     << table.render();
+  return os.str();
+}
+
+}  // namespace setlib::core

@@ -1,0 +1,44 @@
+#include "src/core/solvability.h"
+
+#include <algorithm>
+
+namespace setlib::core {
+
+bool solvable(const AgreementSpec& spec, const SystemSpec& sys) {
+  spec.validate();
+  sys.validate();
+  SETLIB_EXPECTS(spec.n == sys.n);
+  if (spec.k > spec.t) return true;  // trivial even in S_n (async)
+  return sys.i <= spec.k && (sys.j - sys.i) >= (spec.t + 1) - spec.k;
+}
+
+SystemSpec matching_system(const AgreementSpec& spec) {
+  spec.validate();
+  SystemSpec sys;
+  sys.n = spec.n;
+  sys.i = std::min(spec.k, spec.n);
+  sys.j = std::min(spec.t + 1, spec.n);
+  sys.i = std::min(sys.i, sys.j);
+  return sys;
+}
+
+bool contained_in(const SystemSpec& stronger, const SystemSpec& weaker) {
+  stronger.validate();
+  weaker.validate();
+  SETLIB_EXPECTS(stronger.n == weaker.n);
+  return stronger.i <= weaker.i && weaker.j <= stronger.j;
+}
+
+AgreementSpec stronger_resilience(const AgreementSpec& spec) {
+  AgreementSpec out = spec;
+  out.t = spec.t + 1;
+  return out;
+}
+
+AgreementSpec stronger_agreement(const AgreementSpec& spec) {
+  AgreementSpec out = spec;
+  out.k = spec.k - 1;
+  return out;
+}
+
+}  // namespace setlib::core

@@ -1,0 +1,33 @@
+// Theorem 27 (the paper's main result) as an executable predicate, plus
+// the structural observations around it.
+#ifndef SETLIB_CORE_SOLVABILITY_H
+#define SETLIB_CORE_SOLVABILITY_H
+
+#include "src/core/spec.h"
+
+namespace setlib::core {
+
+/// Is (t, k, n)-agreement solvable in S^i_{j,n}?
+///
+/// - k > t: solvable everywhere, including the asynchronous system
+///   (the trivial algorithm behind Corollary 25's extension).
+/// - 1 <= k <= t <= n-1 (Theorem 27): solvable iff
+///       i <= k  and  j - i >= (t + 1) - k.
+bool solvable(const AgreementSpec& spec, const SystemSpec& sys);
+
+/// The weakest system of the S family that Theorem 24 proves sufficient
+/// for (t, k, n)-agreement: S^k_{t+1,n} (clamped to j <= n).
+SystemSpec matching_system(const AgreementSpec& spec);
+
+/// Observation 4: S^{i'}_{j',n} is contained in S^i_{j,n} iff the
+/// primed system's guarantee is at least as strong (i' <= i, j <= j').
+bool contained_in(const SystemSpec& stronger, const SystemSpec& weaker);
+
+/// The two incrementally stronger problems of the separation result:
+/// (t+1, k, n)- and (t, k-1, n)-agreement (validity-checked by caller).
+AgreementSpec stronger_resilience(const AgreementSpec& spec);
+AgreementSpec stronger_agreement(const AgreementSpec& spec);
+
+}  // namespace setlib::core
+
+#endif  // SETLIB_CORE_SOLVABILITY_H

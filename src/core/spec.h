@@ -1,0 +1,62 @@
+// Problem and system specifications.
+//
+// AgreementSpec is the (t, k, n)-agreement instance of Section 3;
+// SystemSpec is the partially synchronous system S^i_{j,n} of Section
+// 2.2 (n processes, at least one set of size i timely w.r.t. at least
+// one set of size j).
+#ifndef SETLIB_CORE_SPEC_H
+#define SETLIB_CORE_SPEC_H
+
+#include <string>
+
+#include "src/util/assert.h"
+
+namespace setlib::core {
+
+struct AgreementSpec {
+  int t = 1;  // resilience: tolerated crashes, 1..n-1
+  int k = 1;  // agreement degree: max distinct decisions, 1..n
+  int n = 2;  // processes
+
+  void validate() const {
+    SETLIB_EXPECTS(n >= 2);
+    SETLIB_EXPECTS(t >= 1 && t <= n - 1);
+    SETLIB_EXPECTS(k >= 1 && k <= n);
+  }
+
+  std::string to_string() const {
+    // Built by append: the `const char* + std::string&&` chain trips a
+    // GCC 12 -Wrestrict false positive (PR105651).
+    std::string out;
+    out.append("(").append(std::to_string(t)).append(",");
+    out.append(std::to_string(k)).append(",");
+    out.append(std::to_string(n)).append(")-agreement");
+    return out;
+  }
+};
+
+struct SystemSpec {
+  int i = 1;  // size of the timely set, 1..j
+  int j = 1;  // size of the observed set, i..n
+  int n = 2;  // processes
+
+  void validate() const {
+    SETLIB_EXPECTS(n >= 2);
+    SETLIB_EXPECTS(i >= 1 && i <= j && j <= n);
+  }
+
+  /// Observation 5: S^i_{i,n} is the asynchronous system.
+  bool is_asynchronous() const { return i == j; }
+
+  std::string to_string() const {
+    std::string out;
+    out.append("S^").append(std::to_string(i)).append("_{");
+    out.append(std::to_string(j)).append(",");
+    out.append(std::to_string(n)).append("}");
+    return out;
+  }
+};
+
+}  // namespace setlib::core
+
+#endif  // SETLIB_CORE_SPEC_H

@@ -1,0 +1,56 @@
+// Omega-style leader election views over k-anti-Omega.
+//
+// For k = 1, t = n-1, the paper notes (footnote 2) that t-resilient
+// 1-anti-Omega is the classic eventual leader elector Omega [9]: the
+// single winnerset member is the trusted leader. LeaderView exposes
+// that reading, and check_omega verifies the Omega property on a
+// finite run: a correct process that every correct process eventually
+// trusts forever.
+//
+// For k = n-1 the detector is anti-Omega [21]: fdOutput is a single
+// process that is eventually never a correct "output" — the complement
+// view is exposed as well.
+#ifndef SETLIB_FD_LEADER_H
+#define SETLIB_FD_LEADER_H
+
+#include <string>
+
+#include "src/fd/kantiomega.h"
+#include "src/util/procset.h"
+
+namespace setlib::fd {
+
+/// Omega reading of a k = 1 detector.
+class LeaderView {
+ public:
+  /// Requires detector.params().k == 1.
+  explicit LeaderView(const KAntiOmega* detector);
+
+  /// The leader process p currently trusts (its winnerset member).
+  Pid leader_of(Pid p) const;
+
+  /// All processes in `who` currently trust the same leader.
+  bool unanimous(ProcSet who) const;
+
+ private:
+  const KAntiOmega* detector_;
+};
+
+struct OmegaCheck {
+  bool ok = false;       // a correct, commonly trusted leader exists
+  Pid leader = -1;       // that leader (when ok)
+  bool unanimous = false;
+  std::string detail;
+};
+
+/// The Omega property over the trailing `window` iterations.
+OmegaCheck check_omega(const KAntiOmega& detector, ProcSet correct,
+                       std::int64_t window);
+
+/// Anti-Omega reading of a k = n-1 detector: the single excluded
+/// process at p (the paper's "not the leader" output).
+Pid anti_omega_output(const KAntiOmega& detector, Pid p);
+
+}  // namespace setlib::fd
+
+#endif  // SETLIB_FD_LEADER_H

@@ -1,0 +1,45 @@
+// Checkers for the t-resilient k-anti-Omega abstract property.
+//
+// Definition (Section 4.1): every process p holds fdOutput_p, a set of
+// n-k processes, and if at most t processes are faulty then there is a
+// correct process c and a time after which c is not in fdOutput_p for
+// any correct p. On a finite run we check the stabilized form the
+// Figure 2 proof establishes (Lemma 22): all correct processes report
+// the same winnerset, it has not changed for a trailing window, and it
+// contains a correct process.
+#ifndef SETLIB_FD_PROPERTY_H
+#define SETLIB_FD_PROPERTY_H
+
+#include <string>
+
+#include "src/fd/kantiomega.h"
+#include "src/util/procset.h"
+
+namespace setlib::fd {
+
+struct PropertyCheck {
+  bool output_sizes_ok = false;    // every fdOutput has size n - k
+  bool stabilized = false;         // common winnerset, quiescent window
+  bool has_correct_winner = false; // winnerset intersects correct set
+  bool ok = false;                 // strong (Lemma 22) conjunction
+  ProcSet winnerset;
+
+  /// The abstract property (Section 4.1): some correct process is
+  /// eventually never excluded by any correct process. Implied by the
+  /// strong form; can hold without full stabilization.
+  ProcSet trusted;                 // candidates kept by all correct procs
+  bool abstract_ok = false;        // trusted intersects correct
+
+  std::string detail;
+};
+
+/// Evaluate the detector property over the current views. `correct` is
+/// the set of processes that are correct in the run being checked;
+/// `window` is the minimum number of trailing quiescent iterations
+/// required of every correct process.
+PropertyCheck check_kantiomega(const KAntiOmega& detector, ProcSet correct,
+                               std::int64_t window);
+
+}  // namespace setlib::fd
+
+#endif  // SETLIB_FD_PROPERTY_H

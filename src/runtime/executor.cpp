@@ -1,0 +1,121 @@
+#include "src/runtime/executor.h"
+
+#include "src/util/assert.h"
+
+namespace setlib::runtime {
+
+ThreadedExecutor::ThreadedExecutor(RtMemory& mem, int n)
+    : mem_(mem),
+      n_(n),
+      crash_after_(static_cast<std::size_t>(n),
+                   std::numeric_limits<std::int64_t>::max()),
+      done_(static_cast<std::size_t>(n)) {
+  SETLIB_EXPECTS(n >= 1 && n <= kMaxProcs);
+  procs_.reserve(static_cast<std::size_t>(n));
+  for (Pid p = 0; p < n; ++p) procs_.emplace_back(p);
+  for (auto& d : done_) d.store(false, std::memory_order_relaxed);
+}
+
+shm::ProcessRuntime& ThreadedExecutor::process(Pid p) {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  return procs_[static_cast<std::size_t>(p)];
+}
+
+void ThreadedExecutor::crash_after(Pid p, std::int64_t ops) {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  SETLIB_EXPECTS(ops >= 0);
+  crash_after_[static_cast<std::size_t>(p)] = ops;
+}
+
+ProcSet ThreadedExecutor::crashed() const {
+  return ProcSet(crashed_mask_.load(std::memory_order_acquire));
+}
+
+void ThreadedExecutor::thread_main(Pid p, Pacer& pacer,
+                                   const Options& options) {
+  auto& proc = procs_[static_cast<std::size_t>(p)];
+  const std::int64_t crash_at = crash_after_[static_cast<std::size_t>(p)];
+  std::int64_t ops = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (ops >= crash_at) {
+      crashed_mask_.fetch_or(std::uint64_t{1} << p,
+                             std::memory_order_acq_rel);
+      break;
+    }
+    if (ops >= options.max_ops_per_process) break;
+    if (!pacer.step(p)) break;
+    proc.step(mem_);
+    ++ops;
+    total_ops_.fetch_add(1, std::memory_order_relaxed);
+    if (options.local_done && ops % options.poll_every == 0 &&
+        !done_[static_cast<std::size_t>(p)].load(
+            std::memory_order_relaxed) &&
+        options.local_done(p)) {
+      done_[static_cast<std::size_t>(p)].store(true,
+                                               std::memory_order_release);
+    }
+    if (proc.halted()) {
+      done_[static_cast<std::size_t>(p)].store(true,
+                                               std::memory_order_release);
+      break;
+    }
+  }
+  // Whether crashed, done, or stopped: this thread takes no more steps.
+  pacer.deactivate(p);
+}
+
+ThreadedExecutor::RunStats ThreadedExecutor::run(Pacer& pacer,
+                                                 const Options& options) {
+  mem_.freeze();
+  const auto start = std::chrono::steady_clock::now();
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(n_));
+    for (Pid p = 0; p < n_; ++p) {
+      threads.emplace_back([this, p, &pacer, &options] {
+        thread_main(p, pacer, options);
+      });
+    }
+
+    // Monitor: end the run when every non-crashed process is done, or
+    // on wall-clock expiry. (Threads park in pacer waits or loop; the
+    // stop flag plus pacer stop release everyone.)
+    for (;;) {
+      bool all_done = true;
+      const ProcSet crashed_now = crashed();
+      for (Pid p = 0; p < n_; ++p) {
+        if (crashed_now.contains(p)) continue;
+        if (!done_[static_cast<std::size_t>(p)].load(
+                std::memory_order_acquire)) {
+          all_done = false;
+          break;
+        }
+      }
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      if (all_done || elapsed >= options.max_wall) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    stop_.store(true, std::memory_order_release);
+    pacer.request_stop();
+    // jthread joins on scope exit (CP.25).
+  }
+
+  RunStats stats;
+  stats.total_ops = total_ops_.load(std::memory_order_relaxed);
+  stats.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  stats.wall_expired = stats.elapsed >= options.max_wall;
+  stats.all_done = true;
+  const ProcSet crashed_final = crashed();
+  for (Pid p = 0; p < n_; ++p) {
+    if (crashed_final.contains(p)) continue;
+    if (!done_[static_cast<std::size_t>(p)].load(
+            std::memory_order_acquire)) {
+      stats.all_done = false;
+    }
+  }
+  return stats;
+}
+
+}  // namespace setlib::runtime

@@ -1,0 +1,79 @@
+// The threaded executor: the same coroutine algorithms the simulator
+// runs, driven by real std::jthreads.
+//
+// Each process thread loops: gate one step through the Pacer, then
+// execute one pending register operation of the process's next task
+// against the (thread-safe) RtMemory. Crash injection stops a thread
+// after a configured number of operations. Thread-owned state keeps the
+// algorithm objects race-free: a process's tasks run only on its own
+// thread; cross-thread coordination goes through RtMemory registers,
+// the Pacer, and the executor's atomics.
+#ifndef SETLIB_RUNTIME_EXECUTOR_H
+#define SETLIB_RUNTIME_EXECUTOR_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/pacer.h"
+#include "src/runtime/rt_memory.h"
+#include "src/shm/process.h"
+#include "src/util/procset.h"
+
+namespace setlib::runtime {
+
+class ThreadedExecutor {
+ public:
+  struct Options {
+    /// Per-thread operation budget (safety net against livelock).
+    std::int64_t max_ops_per_process = 2'000'000;
+    /// Wall-clock cap for the whole run.
+    std::chrono::milliseconds max_wall{10'000};
+    /// Evaluated by each process's own thread every `poll_every` ops;
+    /// when it returns true the process counts as locally done. The
+    /// run ends when every non-crashed process is done (or budgets
+    /// expire). Must only touch state owned by that process.
+    std::function<bool(Pid)> local_done;
+    std::int64_t poll_every = 32;
+  };
+
+  struct RunStats {
+    bool all_done = false;        // every non-crashed process reported done
+    bool wall_expired = false;
+    std::int64_t total_ops = 0;
+    std::chrono::milliseconds elapsed{0};
+  };
+
+  ThreadedExecutor(RtMemory& mem, int n);
+
+  shm::ProcessRuntime& process(Pid p);
+
+  /// Crash pid after it has executed `ops` operations.
+  void crash_after(Pid p, std::int64_t ops);
+
+  ProcSet crashed() const;
+
+  /// Blocking: spawns one jthread per process, waits for completion.
+  RunStats run(Pacer& pacer, const Options& options);
+
+ private:
+  void thread_main(Pid p, Pacer& pacer, const Options& options);
+
+  RtMemory& mem_;
+  int n_;
+  std::vector<shm::ProcessRuntime> procs_;
+  std::vector<std::int64_t> crash_after_;
+  std::vector<std::atomic<bool>> done_;
+  std::atomic<std::uint64_t> crashed_mask_{0};
+  std::atomic<std::int64_t> total_ops_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace setlib::runtime
+
+#endif  // SETLIB_RUNTIME_EXECUTOR_H

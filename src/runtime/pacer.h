@@ -1,0 +1,79 @@
+// The pacer: set-timeliness enforcement on live threads.
+//
+// The threaded runtime cannot choose the schedule — the OS does — so
+// timeliness is enforced with a gate instead: every process thread
+// calls step(pid) before each register operation. For each configured
+// constraint (P timely w.r.t. Q, bound b), a thread in Q \ P is blocked
+// (condition-variable wait with predicate, CP.42) whenever b - 1 steps
+// of Q have already passed since the last P step; it resumes once a P
+// member steps. The pacer's serialization order (its internal step
+// log, optional) is the schedule the analyzer checks.
+//
+// Liveness guards: if every member of some constraint's P has
+// deactivated (crashed/finished), the constraint is dropped (counted),
+// and request_stop() releases all waiters.
+#ifndef SETLIB_RUNTIME_PACER_H
+#define SETLIB_RUNTIME_PACER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/sched/enforcer.h"
+#include "src/sched/schedule.h"
+#include "src/util/procset.h"
+
+namespace setlib::runtime {
+
+class Pacer {
+ public:
+  /// `record_schedule`: keep the serialized step log (costs memory
+  /// proportional to the run; on for experiments, off for benches).
+  Pacer(int n, std::vector<sched::TimelinessConstraint> constraints,
+        bool record_schedule = true);
+
+  /// Gate one step of `pid`. Blocks while any constraint forbids it.
+  /// Returns false if the pacer was stopped while waiting.
+  bool step(Pid pid);
+
+  /// The thread of `pid` will take no further steps (crash or finish);
+  /// waiting threads blocked on pid's set are re-evaluated.
+  void deactivate(Pid pid);
+
+  /// Release all waiters and make further step() calls return false.
+  void request_stop();
+  bool stopped() const;
+
+  std::int64_t steps_taken() const;
+  std::int64_t dropped_constraints() const;
+
+  /// The serialized schedule (requires record_schedule; empty
+  /// otherwise). Call after threads have quiesced.
+  sched::Schedule recorded_schedule() const;
+
+ private:
+  bool allowed_locked(Pid pid) const;
+  void apply_locked(Pid pid);
+
+  struct State {
+    sched::TimelinessConstraint c;
+    std::int64_t q_steps_since_p = 0;
+    bool dropped = false;
+  };
+
+  const int n_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<State> states_;
+  ProcSet active_;
+  bool stop_ = false;
+  std::int64_t steps_ = 0;
+  std::int64_t dropped_ = 0;
+  bool record_;
+  std::vector<Pid> log_;
+};
+
+}  // namespace setlib::runtime
+
+#endif  // SETLIB_RUNTIME_PACER_H

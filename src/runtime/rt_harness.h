@@ -1,0 +1,55 @@
+// High-level threaded harness: the full Theorem 24 stack (Figure 2
+// detector + k Paxos instances) on real threads, mirroring
+// core::run_agreement for the real-time runtime.
+#ifndef SETLIB_RUNTIME_RT_HARNESS_H
+#define SETLIB_RUNTIME_RT_HARNESS_H
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/procset.h"
+
+namespace setlib::runtime {
+
+struct RtRunConfig {
+  int n = 4;
+  int k = 1;
+  int t = 1;
+
+  /// Pacer constraint: first k pids timely w.r.t. first t+1 pids.
+  std::int64_t bound = 4;
+
+  /// Crash the last crash_count pids after each has executed crash_ops
+  /// operations (0 = crash immediately).
+  int crash_count = 0;
+  std::int64_t crash_ops = 0;
+
+  std::int64_t max_ops_per_process = 500'000;
+  std::chrono::milliseconds max_wall{5000};
+  std::vector<std::int64_t> proposals;  // default 100 + p
+};
+
+struct RtRunReport {
+  bool all_done = false;
+  bool success = false;  // agreement + validity + termination
+  int distinct_decisions = 0;
+  std::vector<std::optional<std::int64_t>> decisions;
+  ProcSet faulty;
+
+  std::int64_t pacer_steps = 0;
+  std::int64_t dropped_constraints = 0;
+  std::int64_t witness_bound = 0;  // measured on the pacer's schedule
+  std::chrono::milliseconds elapsed{0};
+  bool detector_stabilized = false;
+  bool detector_abstract_ok = false;
+  std::string detail;
+};
+
+RtRunReport run_kset_threaded(const RtRunConfig& cfg);
+
+}  // namespace setlib::runtime
+
+#endif  // SETLIB_RUNTIME_RT_HARNESS_H

@@ -1,0 +1,39 @@
+#include "src/runtime/rt_memory.h"
+
+#include "src/util/assert.h"
+
+namespace setlib::runtime {
+
+shm::RegisterId RtMemory::alloc(std::string name) {
+  SETLIB_EXPECTS(!frozen());
+  cells_.push_back(std::make_unique<Cell>());
+  names_.push_back(std::move(name));
+  return static_cast<shm::RegisterId>(cells_.size()) - 1;
+}
+
+shm::Value RtMemory::read(shm::RegisterId reg) {
+  SETLIB_EXPECTS(reg >= 0 && reg < register_count());
+  Cell& cell = *cells_[static_cast<std::size_t>(reg)];
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  const std::scoped_lock lock(cell.mu);
+  return cell.value;
+}
+
+void RtMemory::write(shm::RegisterId reg, shm::Value v) {
+  SETLIB_EXPECTS(reg >= 0 && reg < register_count());
+  Cell& cell = *cells_[static_cast<std::size_t>(reg)];
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  const std::scoped_lock lock(cell.mu);
+  cell.value = std::move(v);
+}
+
+std::int64_t RtMemory::register_count() const {
+  return static_cast<std::int64_t>(cells_.size());
+}
+
+const std::string& RtMemory::name(shm::RegisterId reg) const {
+  SETLIB_EXPECTS(reg >= 0 && reg < register_count());
+  return names_[static_cast<std::size_t>(reg)];
+}
+
+}  // namespace setlib::runtime

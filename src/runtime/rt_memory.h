@@ -1,0 +1,60 @@
+// Thread-safe shared memory for the real-time runtime.
+//
+// Same IMemory interface the simulator uses, so the coroutine algorithm
+// code is executor-agnostic: one mutex per register provides
+// linearizable (atomic MWMR register) semantics. Registers must be
+// allocated during the single-threaded setup phase; freeze() is called
+// by the executor before spawning threads and further alloc() calls
+// throw.
+#ifndef SETLIB_RUNTIME_RT_MEMORY_H
+#define SETLIB_RUNTIME_RT_MEMORY_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/shm/memory.h"
+
+namespace setlib::runtime {
+
+class RtMemory final : public shm::IMemory {
+ public:
+  RtMemory() = default;
+
+  shm::RegisterId alloc(std::string name) override;
+  shm::Value read(shm::RegisterId reg) override;
+  void write(shm::RegisterId reg, shm::Value v) override;
+  std::int64_t register_count() const override;
+  const std::string& name(shm::RegisterId reg) const override;
+  std::int64_t read_count() const override {
+    return reads_.load(std::memory_order_relaxed);
+  }
+  std::int64_t write_count() const override {
+    return writes_.load(std::memory_order_relaxed);
+  }
+
+  /// Forbid further allocation (executor calls this before threads
+  /// start; allocation would reallocate the cell vector under readers).
+  void freeze() noexcept { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const noexcept {
+    return frozen_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Cell {
+    mutable std::mutex mu;
+    shm::Value value;
+  };
+
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::vector<std::string> names_;
+  std::atomic<bool> frozen_{false};
+  std::atomic<std::int64_t> reads_{0};
+  std::atomic<std::int64_t> writes_{0};
+};
+
+}  // namespace setlib::runtime
+
+#endif  // SETLIB_RUNTIME_RT_MEMORY_H

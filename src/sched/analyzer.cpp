@@ -1,0 +1,113 @@
+#include "src/sched/analyzer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/assert.h"
+
+namespace setlib::sched {
+
+std::int64_t min_timeliness_bound(const Schedule& s, ProcSet p, ProcSet q,
+                                  std::int64_t from, std::int64_t to) {
+  SETLIB_EXPECTS(0 <= from && from <= to && to <= s.size());
+  // Scan windows delimited by P-steps; the largest Q-count in a P-free
+  // window w satisfies: every window with count(w)+1 Q-steps must span a
+  // P-step.
+  std::int64_t max_q_in_window = 0;
+  std::int64_t current = 0;
+  for (std::int64_t idx = from; idx < to; ++idx) {
+    const Pid step = s[idx];
+    if (p.contains(step)) {
+      current = 0;
+    } else if (q.contains(step)) {
+      ++current;
+      max_q_in_window = std::max(max_q_in_window, current);
+    }
+  }
+  return max_q_in_window + 1;
+}
+
+std::int64_t min_timeliness_bound(const Schedule& s, ProcSet p, ProcSet q) {
+  return min_timeliness_bound(s, p, q, 0, s.size());
+}
+
+bool is_timely(const Schedule& s, ProcSet p, ProcSet q, std::int64_t bound) {
+  SETLIB_EXPECTS(bound >= 1);
+  return min_timeliness_bound(s, p, q) <= bound;
+}
+
+std::vector<std::int64_t> bound_series(const Schedule& s, ProcSet p, ProcSet q,
+                                       const std::vector<std::int64_t>& cuts) {
+  std::vector<std::int64_t> out;
+  out.reserve(cuts.size());
+  for (std::int64_t cut : cuts) {
+    SETLIB_EXPECTS(cut >= 0 && cut <= s.size());
+    out.push_back(min_timeliness_bound(s, p, q, 0, cut));
+  }
+  return out;
+}
+
+SystemMembership::SystemMembership(const Schedule& s)
+    : n_(s.n()), len_(s.size()), steps_(s.steps()) {
+  prefix_.assign(static_cast<std::size_t>(n_),
+                 std::vector<std::int64_t>(static_cast<std::size_t>(len_) + 1,
+                                           0));
+  for (std::int64_t t = 0; t < len_; ++t) {
+    for (Pid p = 0; p < n_; ++p) {
+      prefix_[static_cast<std::size_t>(p)][static_cast<std::size_t>(t) + 1] =
+          prefix_[static_cast<std::size_t>(p)][static_cast<std::size_t>(t)] +
+          (steps_[static_cast<std::size_t>(t)] == p ? 1 : 0);
+    }
+  }
+}
+
+std::int64_t SystemMembership::bound_for(ProcSet p, ProcSet q) const {
+  std::int64_t max_q = 0;
+  std::int64_t window_start = 0;
+  auto q_count = [&](std::int64_t a, std::int64_t b) {
+    std::int64_t c = 0;
+    for (Pid x : q.to_vector()) {
+      c += prefix_[static_cast<std::size_t>(x)][static_cast<std::size_t>(b)] -
+           prefix_[static_cast<std::size_t>(x)][static_cast<std::size_t>(a)];
+    }
+    return c;
+  };
+  for (std::int64_t t = 0; t < len_; ++t) {
+    if (p.contains(steps_[static_cast<std::size_t>(t)])) {
+      max_q = std::max(max_q, q_count(window_start, t));
+      window_start = t + 1;
+    }
+  }
+  max_q = std::max(max_q, q_count(window_start, len_));
+  return max_q + 1;
+}
+
+TimelyPair SystemMembership::best_pair(int i, int j) const {
+  SETLIB_EXPECTS(1 <= i && i <= n_);
+  SETLIB_EXPECTS(1 <= j && j <= n_);
+  TimelyPair best{ProcSet(), ProcSet(),
+                  std::numeric_limits<std::int64_t>::max()};
+  for (ProcSet p : k_subsets(n_, i)) {
+    for (ProcSet q : k_subsets(n_, j)) {
+      const std::int64_t b = bound_for(p, q);
+      if (b < best.bound) best = TimelyPair{p, q, b};
+    }
+  }
+  return best;
+}
+
+std::optional<TimelyPair> SystemMembership::find_witness(
+    int i, int j, std::int64_t bound_cap) const {
+  SETLIB_EXPECTS(1 <= i && i <= n_);
+  SETLIB_EXPECTS(1 <= j && j <= n_);
+  SETLIB_EXPECTS(bound_cap >= 1);
+  for (ProcSet p : k_subsets(n_, i)) {
+    for (ProcSet q : k_subsets(n_, j)) {
+      const std::int64_t b = bound_for(p, q);
+      if (b <= bound_cap) return TimelyPair{p, q, b};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace setlib::sched

@@ -1,0 +1,82 @@
+// Timeliness analysis: the executable form of Definition 1.
+//
+// For a finite schedule prefix S and sets P, Q, min_timeliness_bound
+// computes the least b such that every window of S containing b steps of
+// Q contains a step of P. Equivalently, b = 1 + the maximum number of
+// Q-steps in any P-free window of S. On an infinite schedule, "P timely
+// w.r.t. Q" (Definition 1) means these per-prefix bounds stay bounded as
+// the prefix grows; experiments therefore either
+//   (a) track the bound across growing prefixes (Figure 1 harness), or
+//   (b) check the bound over a suffix, after stabilization.
+//
+// SystemMembership implements "S in S^i_{j,n}" on a prefix: does some
+// (P, Q) pair with |P| = i, |Q| = j satisfy the bound? (Observation 5's
+// degenerate case P = Q makes any schedule a member when i == j, which
+// the paper uses to identify S^i_{i,n} with the asynchronous system.)
+#ifndef SETLIB_SCHED_ANALYZER_H
+#define SETLIB_SCHED_ANALYZER_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sched/schedule.h"
+#include "src/util/procset.h"
+
+namespace setlib::sched {
+
+/// Least b such that every window of `s` (restricted to [from, to)) with
+/// b Q-steps contains a P-step. Returns 1 if Q takes < 1 steps in any
+/// P-free window (in particular if P == Q, or Q never steps).
+std::int64_t min_timeliness_bound(const Schedule& s, ProcSet p, ProcSet q,
+                                  std::int64_t from, std::int64_t to);
+std::int64_t min_timeliness_bound(const Schedule& s, ProcSet p, ProcSet q);
+
+/// Definition 1 on the prefix: is P timely w.r.t. Q with the given bound?
+bool is_timely(const Schedule& s, ProcSet p, ProcSet q, std::int64_t bound);
+
+/// Per-phase bound series: bounds of growing prefixes cut at the given
+/// offsets. Used by the Figure 1 harness to show divergence vs.
+/// boundedness.
+std::vector<std::int64_t> bound_series(const Schedule& s, ProcSet p, ProcSet q,
+                                       const std::vector<std::int64_t>& cuts);
+
+struct TimelyPair {
+  ProcSet timely_set;   // P, |P| = i
+  ProcSet observed_set; // Q, |Q| = j
+  std::int64_t bound;   // minimal bound for this pair on the prefix
+};
+
+class SystemMembership {
+ public:
+  /// Prepares prefix sums for O(1) per-window set counts.
+  explicit SystemMembership(const Schedule& s);
+
+  int n() const noexcept { return n_; }
+
+  /// Minimal bound for a specific pair (same value as
+  /// min_timeliness_bound, but O(windows * |Q|) after preparation).
+  std::int64_t bound_for(ProcSet p, ProcSet q) const;
+
+  /// The pair of sizes (i, j) with the smallest bound over the prefix;
+  /// exhaustive over C(n,i) * C(n,j) pairs.
+  TimelyPair best_pair(int i, int j) const;
+
+  /// Membership in S^i_{j,n} at the given bound cap: exists (P, Q) with
+  /// |P| = i, |Q| = j and bound <= cap. Early-exits on first witness.
+  std::optional<TimelyPair> find_witness(int i, int j,
+                                         std::int64_t bound_cap) const;
+
+ private:
+  std::vector<std::int64_t> p_free_window_counts(ProcSet p, ProcSet q) const;
+
+  int n_;
+  std::int64_t len_;
+  // prefix_[p][t] = #steps of process p in [0, t).
+  std::vector<std::vector<std::int64_t>> prefix_;
+  std::vector<Pid> steps_;
+};
+
+}  // namespace setlib::sched
+
+#endif  // SETLIB_SCHED_ANALYZER_H

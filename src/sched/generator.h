@@ -1,0 +1,35 @@
+// Schedule generator interface.
+//
+// A generator models an infinite schedule: each next() call yields the
+// pid of the next step. Deterministic generators (round-robin, Figure 1)
+// reproduce the paper's constructions exactly; stochastic ones are
+// seeded. The Simulator pulls from a generator one step at a time, so
+// adversaries could in principle react to execution state; the ones in
+// generators.h are oblivious, which is all the paper needs.
+#ifndef SETLIB_SCHED_GENERATOR_H
+#define SETLIB_SCHED_GENERATOR_H
+
+#include <memory>
+
+#include "src/sched/schedule.h"
+#include "src/util/procset.h"
+
+namespace setlib::sched {
+
+class ScheduleGenerator {
+ public:
+  virtual ~ScheduleGenerator() = default;
+
+  /// Number of processes in the system the schedule ranges over.
+  virtual int n() const = 0;
+
+  /// The pid taking the next step.
+  virtual Pid next() = 0;
+};
+
+/// Materialize the next `steps` steps of `gen` as a Schedule.
+Schedule generate(ScheduleGenerator& gen, std::int64_t steps);
+
+}  // namespace setlib::sched
+
+#endif  // SETLIB_SCHED_GENERATOR_H

@@ -1,0 +1,49 @@
+#include "src/shm/memory.h"
+
+#include "src/util/assert.h"
+
+namespace setlib::shm {
+
+RegisterId IMemory::alloc_array(const std::string& name, std::int64_t count) {
+  SETLIB_EXPECTS(count >= 1);
+  const RegisterId base = alloc(name + "[0]");
+  for (std::int64_t i = 1; i < count; ++i) {
+    const RegisterId r = alloc(name + "[" + std::to_string(i) + "]");
+    SETLIB_ENSURES(r == base + i);
+  }
+  return base;
+}
+
+RegisterId SimMemory::alloc(std::string name) {
+  cells_.emplace_back();
+  names_.push_back(std::move(name));
+  return static_cast<RegisterId>(cells_.size()) - 1;
+}
+
+Value SimMemory::read(RegisterId reg) {
+  SETLIB_EXPECTS(reg >= 0 && reg < register_count());
+  ++reads_;
+  return cells_[static_cast<std::size_t>(reg)];
+}
+
+void SimMemory::write(RegisterId reg, Value v) {
+  SETLIB_EXPECTS(reg >= 0 && reg < register_count());
+  ++writes_;
+  cells_[static_cast<std::size_t>(reg)] = std::move(v);
+}
+
+std::int64_t SimMemory::register_count() const {
+  return static_cast<std::int64_t>(cells_.size());
+}
+
+const std::string& SimMemory::name(RegisterId reg) const {
+  SETLIB_EXPECTS(reg >= 0 && reg < register_count());
+  return names_[static_cast<std::size_t>(reg)];
+}
+
+const Value& SimMemory::peek(RegisterId reg) const {
+  SETLIB_EXPECTS(reg >= 0 && reg < register_count());
+  return cells_[static_cast<std::size_t>(reg)];
+}
+
+}  // namespace setlib::shm

@@ -1,0 +1,64 @@
+#include "src/shm/process.h"
+
+#include "src/util/assert.h"
+
+namespace setlib::shm {
+
+ProcessRuntime::ProcessRuntime(Pid pid) : pid_(pid) {
+  SETLIB_EXPECTS(pid >= 0 && pid < kMaxProcs);
+}
+
+void ProcessRuntime::add_task(Prog prog, std::string name) {
+  SETLIB_EXPECTS(prog.valid());
+  tasks_.push_back(TaskCb{std::move(prog), std::move(name)});
+}
+
+bool ProcessRuntime::halted() const {
+  for (const auto& t : tasks_) {
+    if (!t.started || !t.prog.done()) return false;
+  }
+  return true;
+}
+
+ProcessRuntime::TaskCb* ProcessRuntime::next_live_task() {
+  const std::size_t count = tasks_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    TaskCb& t = tasks_[(rr_cursor_ + i) % count];
+    if (!t.started || !t.prog.done()) {
+      rr_cursor_ = (rr_cursor_ + i + 1) % count;
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+bool ProcessRuntime::step(IMemory& mem) {
+  TaskCb* t = tasks_.empty() ? nullptr : next_live_task();
+  if (t == nullptr) return false;  // halted process: a scheduled no-op step
+
+  if (!t->started) {
+    t->started = true;
+    t->prog.resume();  // run to the first operation request (or completion)
+    if (t->prog.done()) return false;  // purely local task
+  }
+
+  OpRequest& req = t->prog.pending();
+  SETLIB_ASSERT(req.kind != OpRequest::Kind::kNone);
+  switch (req.kind) {
+    case OpRequest::Kind::kRead:
+      SETLIB_ASSERT(req.read_sink != nullptr);
+      *req.read_sink = mem.read(req.reg);
+      break;
+    case OpRequest::Kind::kWrite:
+      mem.write(req.reg, std::move(req.to_write));
+      break;
+    case OpRequest::Kind::kNone:
+      break;
+  }
+  req = OpRequest{};
+  ++ops_;
+  t->prog.resume();  // run to the next request or completion
+  return true;
+}
+
+}  // namespace setlib::shm

@@ -1,0 +1,94 @@
+#include "src/shm/simulator.h"
+
+#include "src/util/assert.h"
+
+namespace setlib::shm {
+
+Simulator::Simulator(IMemory& mem, int n)
+    : mem_(mem), n_(n), executed_(n) {
+  SETLIB_EXPECTS(n >= 1 && n <= kMaxProcs);
+  procs_.reserve(static_cast<std::size_t>(n));
+  for (Pid p = 0; p < n; ++p) procs_.emplace_back(p);
+  plan_crash_steps_.assign(static_cast<std::size_t>(n),
+                           sched::CrashPlan::kNever);
+}
+
+ProcessRuntime& Simulator::process(Pid p) {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  return procs_[static_cast<std::size_t>(p)];
+}
+
+void Simulator::crash(Pid p) {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  crashed_ = crashed_.with(p);
+}
+
+bool Simulator::crashed(Pid p) const {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  return crashed_.contains(p);
+}
+
+void Simulator::use_crash_plan(const sched::CrashPlan& plan) {
+  SETLIB_EXPECTS(plan.n() == n_);
+  for (Pid p = 0; p < n_; ++p) {
+    plan_crash_steps_[static_cast<std::size_t>(p)] = plan.crash_step(p);
+  }
+}
+
+bool Simulator::maybe_crash_per_plan() {
+  bool any = false;
+  const std::int64_t now = steps_taken();
+  for (Pid p = 0; p < n_; ++p) {
+    if (!crashed_.contains(p) &&
+        plan_crash_steps_[static_cast<std::size_t>(p)] <= now) {
+      crash(p);
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool Simulator::execute(Pid p) {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  if (crashed_.contains(p)) return false;
+  procs_[static_cast<std::size_t>(p)].step(mem_);
+  executed_.append(p);
+  return true;
+}
+
+void Simulator::step_once(Pid p) {
+  maybe_crash_per_plan();
+  execute(p);
+}
+
+std::int64_t Simulator::run(sched::ScheduleGenerator& gen,
+                            std::int64_t steps) {
+  return run_until(gen, steps, [] { return false; });
+}
+
+std::int64_t Simulator::run_until(sched::ScheduleGenerator& gen,
+                                  std::int64_t max_steps,
+                                  const std::function<bool()>& stop,
+                                  std::int64_t check_every) {
+  SETLIB_EXPECTS(gen.n() == n_);
+  SETLIB_EXPECTS(max_steps >= 0);
+  SETLIB_EXPECTS(check_every >= 1);
+  std::int64_t executed = 0;
+  // A pull landing on a crashed process is skipped without executing;
+  // cap total pulls so a generator that only schedules crashed pids
+  // cannot livelock the run.
+  std::int64_t pulls = 0;
+  const std::int64_t max_pulls = 16 * max_steps + 1024;
+  while (executed < max_steps && pulls < max_pulls) {
+    maybe_crash_per_plan();
+    if (crashed_.size() == n_) break;
+    const Pid p = gen.next();
+    ++pulls;
+    if (!execute(p)) continue;
+    ++executed;
+    if (executed % check_every == 0 && stop()) break;
+  }
+  return executed;
+}
+
+}  // namespace setlib::shm

@@ -1,0 +1,24 @@
+#include "src/shm/value.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace setlib::shm {
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  if (v.is_nil()) return os << "_|_";
+  os << '(';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ',';
+    os << v.at(i);
+  }
+  return os << ')';
+}
+
+}  // namespace setlib::shm

@@ -1,0 +1,98 @@
+// Register values.
+//
+// The paper's register set Xi carries arbitrary values; we model a value
+// as a short tuple of 64-bit integers so that multi-field records (e.g.
+// a Paxos block {mbal, bal, val}) occupy a single atomic register, as
+// the model permits. A default-constructed Value is the unwritten
+// "bottom"; readers use at_or() to treat bottom fields as defaults (the
+// paper initializes its registers to 0).
+#ifndef SETLIB_SHM_VALUE_H
+#define SETLIB_SHM_VALUE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/util/assert.h"
+
+namespace setlib::shm {
+
+class Value {
+ public:
+  Value() = default;
+  Value(std::initializer_list<std::int64_t> words) : words_(words) {}
+  explicit Value(std::vector<std::int64_t> words)
+      : words_(std::move(words)) {}
+
+  // Explicit tuple factories. Prefer these inside coroutine bodies:
+  // braced initializer_list temporaries in coroutines trip GCC 12
+  // (PR102217, "array used as initializer").
+  static Value of(std::int64_t x) {
+    return Value(std::vector<std::int64_t>(1, x));
+  }
+  static Value of(std::int64_t a, std::int64_t b) {
+    std::vector<std::int64_t> w;
+    w.reserve(2);
+    w.push_back(a);
+    w.push_back(b);
+    return Value(std::move(w));
+  }
+  static Value of(std::int64_t a, std::int64_t b, std::int64_t c) {
+    std::vector<std::int64_t> w;
+    w.reserve(3);
+    w.push_back(a);
+    w.push_back(b);
+    w.push_back(c);
+    return Value(std::move(w));
+  }
+  static Value of(std::int64_t a, std::int64_t b, std::int64_t c,
+                  std::int64_t d) {
+    std::vector<std::int64_t> w;
+    w.reserve(4);
+    w.push_back(a);
+    w.push_back(b);
+    w.push_back(c);
+    w.push_back(d);
+    return Value(std::move(w));
+  }
+
+  bool is_nil() const noexcept { return words_.empty(); }
+  std::size_t size() const noexcept { return words_.size(); }
+
+  std::int64_t at(std::size_t i) const {
+    SETLIB_EXPECTS(i < words_.size());
+    return words_[i];
+  }
+
+  /// Field i, or `def` when the value is bottom / too short.
+  std::int64_t at_or(std::size_t i, std::int64_t def) const noexcept {
+    return i < words_.size() ? words_[i] : def;
+  }
+
+  /// Whole-value convenience for single-word registers.
+  std::int64_t as_int_or(std::int64_t def) const noexcept {
+    return at_or(0, def);
+  }
+
+  const std::vector<std::int64_t>& words() const noexcept { return words_; }
+
+  friend bool operator==(const Value& a, const Value& b) noexcept {
+    return a.words_ == b.words_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) noexcept {
+    return !(a == b);
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> words_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace setlib::shm
+
+#endif  // SETLIB_SHM_VALUE_H

@@ -1,0 +1,54 @@
+// Contract checking for the settimeliness library.
+//
+// The library is a correctness harness for a theory paper, so contract
+// checks stay on in every build type (the top-level CMakeLists strips
+// -DNDEBUG). Violations throw ContractViolation so tests can assert on
+// misuse, and so a violation inside a coroutine surfaces at the driver.
+#ifndef SETLIB_UTIL_ASSERT_H
+#define SETLIB_UTIL_ASSERT_H
+
+#include <stdexcept>
+#include <string>
+
+namespace setlib {
+
+/// Thrown when a SETLIB_EXPECTS / SETLIB_ENSURES / SETLIB_ASSERT check
+/// fails. Carries the failed expression and source location in what().
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failed(const char* kind, const char* expr,
+                                  const char* file, int line);
+}  // namespace detail
+
+}  // namespace setlib
+
+/// Precondition check (gsl::Expects-style).
+#define SETLIB_EXPECTS(expr)                                            \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::setlib::detail::contract_failed("precondition", #expr,         \
+                                        __FILE__, __LINE__);            \
+  } while (false)
+
+/// Postcondition check (gsl::Ensures-style).
+#define SETLIB_ENSURES(expr)                                            \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::setlib::detail::contract_failed("postcondition", #expr,        \
+                                        __FILE__, __LINE__);            \
+  } while (false)
+
+/// Internal invariant check.
+#define SETLIB_ASSERT(expr)                                             \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::setlib::detail::contract_failed("invariant", #expr,            \
+                                        __FILE__, __LINE__);            \
+  } while (false)
+
+#endif  // SETLIB_UTIL_ASSERT_H

@@ -1,0 +1,62 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic schedule generators in the library draw from Rng so that
+// every experiment is reproducible from (parameters, seed). The generator
+// is xoshiro256**, seeded through SplitMix64 per the reference
+// recommendation; both are tiny, fast, and dependency-free.
+#ifndef SETLIB_UTIL_RNG_H
+#define SETLIB_UTIL_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/assert.h"
+
+namespace setlib {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, bound). Requires bound > 0 (throws otherwise). Uses
+  /// rejection sampling, so the distribution is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform int in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept;
+
+  /// Pick an index according to non-negative weights (at least one > 0).
+  std::size_t next_weighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-process streams).
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace setlib
+
+#endif  // SETLIB_UTIL_RNG_H

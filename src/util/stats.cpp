@@ -1,0 +1,56 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace setlib {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double Summary::mean() const {
+  SETLIB_EXPECTS(!empty());
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  SETLIB_EXPECTS(!empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  SETLIB_EXPECTS(!empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const {
+  SETLIB_EXPECTS(!empty());
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::percentile(double q) const {
+  SETLIB_EXPECTS(!empty());
+  SETLIB_EXPECTS(q >= 0.0 && q <= 100.0);
+  ensure_sorted();
+  const auto n = sorted_.size();
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(n)));
+  return sorted_[idx == 0 ? 0 : idx - 1];
+}
+
+}  // namespace setlib

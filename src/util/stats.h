@@ -1,0 +1,37 @@
+// Small statistics helpers for the benchmark harnesses.
+#ifndef SETLIB_UTIL_STATS_H
+#define SETLIB_UTIL_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/assert.h"
+
+namespace setlib {
+
+/// Accumulates samples; exposes count/mean/min/max/stddev/percentiles.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// Nearest-rank percentile, q in [0, 100].
+  double percentile(double q) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace setlib
+
+#endif  // SETLIB_UTIL_STATS_H

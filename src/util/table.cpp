@@ -1,0 +1,57 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "src/util/assert.h"
+
+namespace setlib {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SETLIB_EXPECTS(!header_.empty());
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& s) {
+  SETLIB_EXPECTS(!rows_.empty());
+  SETLIB_EXPECTS(rows_.back().size() < header_.size());
+  rows_.back().push_back(s);
+  return *this;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& s = c < r.size() ? r[c] : std::string();
+      os << (c == 0 ? "| " : " | ") << s
+         << std::string(width[c] - s.size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+}  // namespace setlib

@@ -1,0 +1,44 @@
+// Plain-text table rendering for the experiment harnesses.
+//
+// Every bench binary prints the rows the paper's corresponding
+// theorem/figure would contain; TextTable keeps that output aligned and
+// machine-grep-able without pulling in a formatting dependency.
+#ifndef SETLIB_UTIL_TABLE_H
+#define SETLIB_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace setlib {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  TextTable& row();
+
+  TextTable& cell(const std::string& s);
+  template <typename T>
+  TextTable& cell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return cell(os.str());
+  }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with a header rule and column alignment.
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace setlib
+
+#endif  // SETLIB_UTIL_TABLE_H

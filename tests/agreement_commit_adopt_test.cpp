@@ -1,0 +1,117 @@
+#include "src/agreement/commit_adopt.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/sched/generators.h"
+#include "src/shm/memory.h"
+#include "src/shm/simulator.h"
+
+namespace setlib::agreement {
+namespace {
+
+struct Rig {
+  shm::SimMemory mem;
+  std::unique_ptr<CommitAdopt> ca;
+  std::unique_ptr<shm::Simulator> sim;
+  std::vector<CommitAdopt::Outcome> outs;
+
+  Rig(int n, const std::vector<std::int64_t>& proposals) {
+    ca = std::make_unique<CommitAdopt>(mem, n, "ca");
+    sim = std::make_unique<shm::Simulator>(mem, n);
+    outs.resize(static_cast<std::size_t>(n));
+    for (Pid p = 0; p < n; ++p) {
+      sim->process(p).add_task(
+          ca->propose(p, proposals[static_cast<std::size_t>(p)],
+                      &outs[static_cast<std::size_t>(p)]),
+          "ca");
+    }
+  }
+
+  bool all_done() const {
+    for (const auto& o : outs) {
+      if (!o.done) return false;
+    }
+    return true;
+  }
+};
+
+TEST(CommitAdoptTest, UnanimousProposalsCommit) {
+  Rig rig(4, {7, 7, 7, 7});
+  sched::RoundRobinGenerator gen(4);
+  rig.sim->run(gen, 10'000);
+  ASSERT_TRUE(rig.all_done());
+  for (const auto& o : rig.outs) {
+    EXPECT_TRUE(o.committed);
+    EXPECT_EQ(o.value, 7);
+  }
+}
+
+TEST(CommitAdoptTest, WaitFreeOpCount) {
+  // propose is 2 writes + 2n reads per process: a strict bound on the
+  // steps each process needs.
+  const int n = 5;
+  Rig rig(n, {1, 1, 1, 1, 1});
+  sched::RoundRobinGenerator gen(n);
+  rig.sim->run(gen, n * (2 + 2 * n));
+  EXPECT_TRUE(rig.all_done());
+}
+
+TEST(CommitAdoptTest, SoloProposerCommitsOwnValue) {
+  Rig rig(3, {9, 5, 5});
+  // Only process 0 runs: it sees only its own value and must commit it.
+  for (int s = 0; s < 2 + 6; ++s) rig.sim->step_once(0);
+  ASSERT_TRUE(rig.outs[0].done);
+  EXPECT_TRUE(rig.outs[0].committed);
+  EXPECT_EQ(rig.outs[0].value, 9);
+}
+
+class CommitAdoptSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CommitAdoptSweep, AgreementUnderRandomSchedules) {
+  // Key property: if anyone commits w, every completed propose returned
+  // w (commit or adopt); and every returned value is some proposal.
+  const int n = 5;
+  const std::vector<std::int64_t> proposals{10, 20, 20, 30, 40};
+  Rig rig(n, proposals);
+  sched::UniformRandomGenerator gen(n, GetParam());
+  rig.sim->run(gen, 50'000);
+  ASSERT_TRUE(rig.all_done());
+
+  std::optional<std::int64_t> committed;
+  for (const auto& o : rig.outs) {
+    EXPECT_NE(std::find(proposals.begin(), proposals.end(), o.value),
+              proposals.end())
+        << "validity violated: " << o.value;
+    if (o.committed) {
+      if (committed.has_value()) {
+        EXPECT_EQ(*committed, o.value) << "two different commits";
+      }
+      committed = o.value;
+    }
+  }
+  if (committed.has_value()) {
+    for (const auto& o : rig.outs) {
+      EXPECT_EQ(o.value, *committed)
+          << "adopted value differs from the committed one";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommitAdoptSweep,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(CommitAdoptTest, PartialParticipationIsSafe) {
+  // Processes 3 and 4 never run; the others still return, and the
+  // commit/adopt properties hold among them.
+  const int n = 5;
+  Rig rig(n, {1, 2, 3, 4, 5});
+  sched::WeightedRandomGenerator gen({1, 1, 1, 0, 0}, 17);
+  rig.sim->run(gen, 30'000);
+  for (Pid p = 0; p < 3; ++p) EXPECT_TRUE(rig.outs[p].done);
+  for (Pid p = 3; p < 5; ++p) EXPECT_FALSE(rig.outs[p].done);
+}
+
+}  // namespace
+}  // namespace setlib::agreement

@@ -1,0 +1,165 @@
+// Shared-memory Paxos: unconditional safety (agreement, validity) under
+// adversarial leader oracles and schedules; termination under a stable
+// unique leader; decision propagation through the D register.
+#include "src/agreement/paxos.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/sched/generators.h"
+#include "src/shm/memory.h"
+#include "src/shm/simulator.h"
+#include "src/util/rng.h"
+
+namespace setlib::agreement {
+namespace {
+
+struct Rig {
+  shm::SimMemory mem;
+  std::unique_ptr<PaxosConsensus> paxos;
+  std::unique_ptr<shm::Simulator> sim;
+  std::vector<PaxosConsensus::Status> statuses;
+
+  Rig(int n, const std::vector<std::int64_t>& proposals,
+      PaxosConsensus::LeaderFn leader) {
+    paxos = std::make_unique<PaxosConsensus>(mem, n, "px");
+    sim = std::make_unique<shm::Simulator>(mem, n);
+    statuses.resize(static_cast<std::size_t>(n));
+    for (Pid p = 0; p < n; ++p) {
+      sim->process(p).add_task(
+          paxos->run(p, proposals[static_cast<std::size_t>(p)], leader,
+                     &statuses[static_cast<std::size_t>(p)]),
+          "px");
+    }
+  }
+
+  std::set<std::int64_t> decided_values() const {
+    std::set<std::int64_t> v;
+    for (const auto& s : statuses) {
+      if (s.decided) v.insert(s.value);
+    }
+    return v;
+  }
+};
+
+TEST(PaxosTest, StableLeaderDecides) {
+  const int n = 4;
+  Rig rig(n, {10, 11, 12, 13}, [](Pid) { return 2; });
+  sched::RoundRobinGenerator gen(n);
+  rig.sim->run_until(gen, 200'000, [&] {
+    for (const auto& s : rig.statuses) {
+      if (!s.decided) return false;
+    }
+    return true;
+  });
+  for (const auto& s : rig.statuses) {
+    ASSERT_TRUE(s.decided);
+    EXPECT_EQ(s.value, 12);  // the leader's own proposal wins unopposed
+  }
+}
+
+TEST(PaxosTest, SoloLeaderNeedsFewSteps) {
+  const int n = 3;
+  Rig rig(n, {5, 6, 7}, [](Pid) { return 0; });
+  // Leader alone: 1 D-read + phase1 (1 write + 2 reads) + phase2
+  // (1 write + 2 reads) + D write + D read = 9 ops.
+  for (int step = 0; step < 9; ++step) rig.sim->step_once(0);
+  EXPECT_TRUE(rig.statuses[0].decided);
+  EXPECT_EQ(rig.statuses[0].value, 5);
+}
+
+TEST(PaxosTest, DecisionPropagatesToNonLeaders) {
+  const int n = 3;
+  Rig rig(n, {5, 6, 7}, [](Pid) { return 0; });
+  for (int step = 0; step < 9; ++step) rig.sim->step_once(0);
+  ASSERT_TRUE(rig.statuses[0].decided);
+  // Non-leaders poll D: two ops each suffice (loop read).
+  for (int step = 0; step < 4; ++step) {
+    rig.sim->step_once(1);
+    rig.sim->step_once(2);
+  }
+  EXPECT_TRUE(rig.statuses[1].decided);
+  EXPECT_TRUE(rig.statuses[2].decided);
+  EXPECT_EQ(rig.statuses[1].value, 5);
+  EXPECT_EQ(rig.statuses[2].value, 5);
+}
+
+TEST(PaxosTest, LeaderCrashBlocksButNeverViolates) {
+  const int n = 3;
+  Rig rig(n, {5, 6, 7}, [](Pid) { return 0; });
+  rig.sim->use_crash_plan(sched::CrashPlan::at(n, ProcSet::of(0), 4));
+  sched::RoundRobinGenerator gen(n);
+  rig.sim->run(gen, 50'000);
+  // Leader crashed mid-ballot: nobody decides, nobody mis-decides.
+  EXPECT_TRUE(rig.decided_values().empty());
+}
+
+class PaxosAdversarialSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PaxosAdversarialSweep, SafetyUnderChaoticLeadersAndSchedules) {
+  // Leader oracle: every process believes a pseudo-randomly changing
+  // leader (frequently itself). Schedules: seeded uniform. Safety must
+  // hold regardless; we assert at most one decided value and validity.
+  const int n = 5;
+  const std::vector<std::int64_t> proposals{100, 101, 102, 103, 104};
+  auto chaos = std::make_shared<Rng>(GetParam() * 7919 + 1);
+  auto leader = [chaos](Pid self) -> Pid {
+    // Half the time: self (dueling proposers); otherwise random.
+    return chaos->next_bool(0.5)
+               ? self
+               : static_cast<Pid>(chaos->next_below(5));
+  };
+  Rig rig(n, proposals, leader);
+  sched::UniformRandomGenerator gen(n, GetParam());
+  rig.sim->run(gen, 150'000);
+
+  const auto values = rig.decided_values();
+  EXPECT_LE(values.size(), 1u) << "agreement violated";
+  for (const auto v : values) {
+    EXPECT_GE(v, 100);
+    EXPECT_LE(v, 104);
+  }
+  // The shared decision register never contradicts local decisions.
+  const shm::Value d = rig.mem.peek(rig.paxos->decision_reg());
+  if (!values.empty()) {
+    ASSERT_FALSE(d.is_nil());
+    EXPECT_EQ(d.at(0), *values.begin());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosAdversarialSweep,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(PaxosTest, DuelingLeadersEventuallyDecideUnderFairness) {
+  // Two permanent self-leaders duel; ballots strictly increase, and
+  // under a fair schedule one eventually lands both phases. This is
+  // not guaranteed by theory for adversarial schedules but holds with
+  // overwhelming probability under fair random ones (regression guard
+  // against livelock bugs in ballot selection).
+  const int n = 2;
+  Rig rig(n, {1, 2}, [](Pid self) { return self; });
+  sched::UniformRandomGenerator gen(n, 33);
+  rig.sim->run_until(gen, 2'000'000, [&] {
+    return rig.statuses[0].decided && rig.statuses[1].decided;
+  });
+  EXPECT_EQ(rig.decided_values().size(), 1u);
+}
+
+TEST(PaxosTest, BallotsAreProcessDisjoint) {
+  const int n = 3;
+  Rig rig(n, {1, 2, 3}, [](Pid self) { return self; });
+  sched::UniformRandomGenerator gen(n, 5);
+  rig.sim->run(gen, 20'000);
+  // Inspect blocks: any published mbal must be congruent to its owner.
+  for (Pid q = 0; q < n; ++q) {
+    const shm::Value blk = rig.mem.peek(rig.paxos->block_reg(q));
+    if (blk.is_nil()) continue;
+    EXPECT_EQ(blk.at(0) % n, q) << "mbal " << blk.at(0);
+  }
+}
+
+}  // namespace
+}  // namespace setlib::agreement

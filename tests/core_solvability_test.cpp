@@ -1,0 +1,150 @@
+// The Theorem 27 predicate and the structural facts around it
+// (Observations 4-7, Theorem 26's separation corollaries).
+#include "src/core/solvability.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/assert.h"
+
+namespace setlib::core {
+namespace {
+
+TEST(SolvabilityTest, PaperHeadlineCases) {
+  // S^k_{t+1,n} solves (t,k,n)-agreement (Theorem 24)...
+  EXPECT_TRUE(solvable({2, 2, 5}, {2, 3, 5}));
+  // ...but not (t+1, k, n)-agreement (needs j - i >= t+2-k)...
+  EXPECT_FALSE(solvable({3, 2, 5}, {2, 3, 5}));
+  // ...nor (t, k-1, n)-agreement (i <= k-1 fails and the gap shrinks).
+  EXPECT_FALSE(solvable({2, 1, 5}, {2, 3, 5}));
+  // The matching systems for the two stronger problems:
+  EXPECT_TRUE(solvable({3, 2, 5}, {2, 4, 5}));  // S^k_{t+2,n}
+  EXPECT_TRUE(solvable({2, 1, 5}, {1, 3, 5}));  // S^{k-1}_{t+1,n}
+}
+
+TEST(SolvabilityTest, AsynchronousSystems) {
+  // Observation 5 + the classic impossibilities: S^i_{i,n} is async, so
+  // (t,k,n) with k <= t is unsolvable there...
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_FALSE(solvable({2, 2, 5}, {i, i, 5})) << "i=" << i;
+  }
+  // ...while k > t is solvable even there (Corollary 25's trivial case).
+  EXPECT_TRUE(solvable({1, 2, 5}, {3, 3, 5}));
+  EXPECT_TRUE(solvable({2, 4, 5}, {5, 5, 5}));
+}
+
+TEST(SolvabilityTest, ExhaustiveFrontierShape) {
+  // For every (t, k, n) in a small grid, the solvable region in (i, j)
+  // is exactly the rectangle-with-diagonal the theorem states, and is
+  // monotone per Observation 7 (shrink i, grow j preserves solvability).
+  for (int n = 2; n <= 7; ++n) {
+    for (int t = 1; t <= n - 1; ++t) {
+      for (int k = 1; k <= t; ++k) {
+        for (int i = 1; i <= n; ++i) {
+          for (int j = i; j <= n; ++j) {
+            const bool expect = (i <= k) && (j - i >= t + 1 - k);
+            EXPECT_EQ(solvable({t, k, n}, {i, j, n}), expect)
+                << "t=" << t << " k=" << k << " n=" << n << " i=" << i
+                << " j=" << j;
+            if (expect) {
+              // Observation 7: weaker systems inherit solvability.
+              if (i > 1) {
+                EXPECT_TRUE(solvable({t, k, n}, {i - 1, j, n}));
+              }
+              if (j < n) {
+                EXPECT_TRUE(solvable({t, k, n}, {i, j + 1, n}));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SolvabilityTest, MatchingSystemIsTightestSolvable) {
+  for (int n = 3; n <= 7; ++n) {
+    for (int t = 1; t <= n - 1; ++t) {
+      for (int k = 1; k <= t; ++k) {
+        const AgreementSpec spec{t, k, n};
+        const SystemSpec match = matching_system(spec);
+        EXPECT_TRUE(solvable(spec, match)) << spec.to_string();
+        // Tightness: shrinking the gap or growing i breaks it.
+        if (match.j - match.i == t + 1 - k && match.j > match.i) {
+          SystemSpec narrower = match;
+          --narrower.j;
+          if (narrower.j >= narrower.i) {
+            EXPECT_FALSE(solvable(spec, narrower)) << spec.to_string();
+          }
+        }
+        if (match.i == k && match.i < match.j && k < n) {
+          SystemSpec bigger = match;
+          ++bigger.i;
+          if (bigger.i <= bigger.j) {
+            EXPECT_FALSE(solvable(spec, bigger)) << spec.to_string();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SolvabilityTest, ContainmentObservation4) {
+  // S^{i'}_{j'} contained in S^i_j iff i' <= i and j <= j'.
+  EXPECT_TRUE(contained_in({1, 4, 5}, {2, 3, 5}));
+  EXPECT_FALSE(contained_in({3, 4, 5}, {2, 4, 5}));
+  EXPECT_FALSE(contained_in({1, 3, 5}, {1, 4, 5}));
+  // Containment + Observation 6: solvable in the weaker system implies
+  // solvable in the contained one.
+  const AgreementSpec spec{2, 2, 5};
+  for (int i = 1; i <= 5; ++i) {
+    for (int j = i; j <= 5; ++j) {
+      for (int i2 = 1; i2 <= i; ++i2) {
+        for (int j2 = j; j2 <= 5; ++j2) {
+          if (solvable(spec, {i, j, 5})) {
+            EXPECT_TRUE(solvable(spec, {i2, j2, 5}))
+                << i << "," << j << " -> " << i2 << "," << j2;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SolvabilityTest, SeparationTriple) {
+  // The headline separation: S^k_{t+1,n} distinguishes (t,k,n) from
+  // both incrementally stronger problems, for every valid (t,k,n) with
+  // k <= t and t+1 <= n-1.
+  for (int n = 3; n <= 7; ++n) {
+    for (int t = 1; t <= n - 2; ++t) {
+      for (int k = 1; k <= t; ++k) {
+        const AgreementSpec spec{t, k, n};
+        const SystemSpec sys = matching_system(spec);
+        EXPECT_TRUE(solvable(spec, sys));
+        EXPECT_FALSE(solvable(stronger_resilience(spec), sys))
+            << spec.to_string();
+        if (k >= 2) {
+          EXPECT_FALSE(solvable(stronger_agreement(spec), sys))
+              << spec.to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST(SolvabilityTest, SpecValidation) {
+  EXPECT_THROW(solvable({0, 1, 3}, {1, 1, 3}), ContractViolation);
+  EXPECT_THROW(solvable({1, 0, 3}, {1, 1, 3}), ContractViolation);
+  EXPECT_THROW(solvable({1, 1, 3}, {2, 1, 3}), ContractViolation);
+  EXPECT_THROW(solvable({1, 1, 3}, {1, 4, 3}), ContractViolation);
+  EXPECT_THROW(solvable({1, 1, 3}, {1, 1, 4}), ContractViolation);
+}
+
+TEST(SpecTest, ToStringFormats) {
+  EXPECT_EQ((AgreementSpec{2, 1, 4}).to_string(), "(2,1,4)-agreement");
+  EXPECT_EQ((SystemSpec{2, 3, 5}).to_string(), "S^2_{3,5}");
+  EXPECT_TRUE((SystemSpec{3, 3, 5}).is_asynchronous());
+  EXPECT_FALSE((SystemSpec{2, 3, 5}).is_asynchronous());
+}
+
+}  // namespace
+}  // namespace setlib::core

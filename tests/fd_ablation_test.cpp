@@ -1,0 +1,128 @@
+// Ablation of Figure 2's accusation quantile (the (t+1)-st smallest
+// entry of Counter[A, *]). The choice is tight on both sides:
+//   - quantile <= t: t processes crashed from step 0 leave t
+//     frozen-at-zero entries in EVERY set's counter row, so every
+//     accusation sticks at 0 and the winnerset stays at the rank-0 set
+//     even if it is fully crashed — the detector property fails.
+//   - quantile >= t+2: on the gap-rotisserie schedule with gap =
+//     t+1-k (the frontier gap, which IS in S^k_{t+1,n}), a live k-set
+//     has exactly gap + k = t+1 frozen entries, one short of the t+2
+//     needed, so every accusation diverges and nothing stabilizes —
+//     the detector property fails.
+//   - quantile = t+1 (the paper's choice): works in both scenarios.
+#include <gtest/gtest.h>
+
+#include "src/fd/kantiomega.h"
+#include "src/fd/property.h"
+#include "src/sched/generators.h"
+#include "src/shm/memory.h"
+#include "src/shm/simulator.h"
+
+namespace setlib::fd {
+namespace {
+
+struct AblationOutcome {
+  bool abstract_ok;
+  bool stabilized;
+  ProcSet winnerset_if_stable;
+  ProcSet trusted;
+};
+
+// Scenario A: t immediate crashes (the zeros attack), round-robin rest.
+AblationOutcome run_crash_scenario(int n, int k, int t, int quantile) {
+  shm::SimMemory mem;
+  shm::Simulator sim(mem, n);
+  const ProcSet crashed = ProcSet::range(0, t);  // includes rank-0 sets
+  sim.use_crash_plan(sched::CrashPlan::at(n, crashed, 0));
+  KAntiOmega detector(mem, KAntiOmega::Params{n, k, t, 1, quantile});
+  for (Pid p = 0; p < n; ++p) {
+    sim.process(p).add_task(detector.run(p), "fd");
+  }
+  sched::RoundRobinGenerator gen(n);
+  const ProcSet correct = crashed.complement(n);
+  sim.run_until(gen, 900'000,
+                [&] { return detector.stabilized(correct, 8); });
+  const auto check = check_kantiomega(detector, correct, 8);
+  return {check.abstract_ok, check.stabilized, check.winnerset,
+          check.trusted};
+}
+
+// Scenario B: gap-rotisserie with the frontier gap t+1-k (a schedule
+// of S^k_{t+1,n} with exactly t+1 freezable counter entries per live
+// k-set: gap crashed zeros + k own members).
+AblationOutcome run_rotisserie_scenario(int n, int k, int t,
+                                        int quantile) {
+  const int gap = t + 1 - k;
+  shm::SimMemory mem;
+  shm::Simulator sim(mem, n);
+  const ProcSet crashed = ProcSet::range(n - gap, n);
+  const ProcSet live = crashed.complement(n);
+  sim.use_crash_plan(sched::CrashPlan::at(n, crashed, 0));
+  KAntiOmega detector(mem, KAntiOmega::Params{n, k, t, 1, quantile});
+  for (Pid p = 0; p < n; ++p) {
+    sim.process(p).add_task(detector.run(p), "fd");
+  }
+  sched::RotatingStarverGenerator gen(n, live, ProcSet(), 600);
+  sim.run(gen, 1'200'000);
+  const auto check = check_kantiomega(detector, live, 4);
+  return {check.abstract_ok, check.stabilized, check.winnerset,
+          check.trusted};
+}
+
+TEST(QuantileAblation, PaperChoiceSurvivesBothScenarios) {
+  // (n=5, k=2, t=2), quantile t+1 = 3 (also the default).
+  const auto a = run_crash_scenario(5, 2, 2, 3);
+  EXPECT_TRUE(a.abstract_ok);
+  EXPECT_TRUE(a.stabilized);
+  EXPECT_TRUE(a.winnerset_if_stable.intersects(ProcSet::range(2, 5)));
+
+  const auto b = run_rotisserie_scenario(5, 2, 2, 3);
+  EXPECT_TRUE(b.abstract_ok);
+}
+
+TEST(QuantileAblation, DefaultEqualsPaperChoice) {
+  const auto def = run_crash_scenario(5, 2, 2, 0);   // 0 -> t+1
+  const auto paper = run_crash_scenario(5, 2, 2, 3);
+  EXPECT_EQ(def.abstract_ok, paper.abstract_ok);
+  EXPECT_EQ(def.winnerset_if_stable, paper.winnerset_if_stable);
+}
+
+TEST(QuantileAblation, TooSmallQuantileTrustsTheDead) {
+  // quantile = 1 (min) and quantile = t: the t frozen zeros from the
+  // crashed processes pin every accusation at 0; the winnerset stays at
+  // the rank-0 set, which is fully crashed here.
+  for (const int quantile : {1, 2}) {  // t = 2
+    const auto out = run_crash_scenario(5, 2, 2, quantile);
+    EXPECT_FALSE(out.abstract_ok) << "quantile " << quantile;
+    // It stabilizes — on the dead set {0,1}: stable but wrong.
+    EXPECT_TRUE(out.stabilized) << "quantile " << quantile;
+    EXPECT_EQ(out.winnerset_if_stable, ProcSet::of({0, 1}))
+        << "quantile " << quantile;
+  }
+}
+
+TEST(QuantileAblation, TooLargeQuantileNeverSettles) {
+  // quantile = t+2: on the frontier-gap rotisserie, live k-sets have
+  // only t+1 frozen entries; the (t+2)-nd smallest keeps growing for
+  // every set.
+  const auto out = run_rotisserie_scenario(5, 2, 2, 4);
+  EXPECT_FALSE(out.abstract_ok);
+  EXPECT_FALSE(out.stabilized);
+}
+
+TEST(QuantileAblation, BoundaryIsExact) {
+  // Directly adjacent quantiles on both scenarios, (n=6, k=2, t=3).
+  EXPECT_FALSE(run_crash_scenario(6, 2, 3, 3).abstract_ok);      // = t
+  EXPECT_TRUE(run_crash_scenario(6, 2, 3, 4).abstract_ok);       // = t+1
+  EXPECT_TRUE(run_rotisserie_scenario(6, 2, 3, 4).abstract_ok);  // = t+1
+  EXPECT_FALSE(run_rotisserie_scenario(6, 2, 3, 5).abstract_ok); // = t+2
+}
+
+TEST(QuantileAblation, ValidatesRange) {
+  shm::SimMemory mem;
+  EXPECT_THROW(KAntiOmega(mem, {4, 1, 2, 1, 5}), ContractViolation);
+  EXPECT_THROW(KAntiOmega(mem, {4, 1, 2, 1, -1}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace setlib::fd

@@ -1,0 +1,92 @@
+// Omega / anti-Omega readings of the k-anti-Omega detector (the
+// paper's footnote 2 identifications).
+#include "src/fd/leader.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/generators.h"
+#include "src/shm/memory.h"
+#include "src/shm/simulator.h"
+#include "src/util/assert.h"
+
+namespace setlib::fd {
+namespace {
+
+TEST(LeaderViewTest, RequiresConsensusDetector) {
+  shm::SimMemory mem;
+  KAntiOmega det(mem, {4, 2, 2, 1});
+  EXPECT_THROW(LeaderView{&det}, ContractViolation);
+  EXPECT_THROW(LeaderView{nullptr}, ContractViolation);
+}
+
+TEST(LeaderViewTest, ElectsStableCorrectLeader) {
+  const int n = 4;
+  shm::SimMemory mem;
+  KAntiOmega det(mem, {n, 1, n - 1, 1});
+  shm::Simulator sim(mem, n);
+  for (Pid p = 0; p < n; ++p) sim.process(p).add_task(det.run(p), "fd");
+  sched::RoundRobinGenerator gen(n);
+  const ProcSet all = ProcSet::universe(n);
+  sim.run_until(gen, 600'000, [&] { return det.stabilized(all, 8); });
+  const auto check = check_omega(det, all, 8);
+  ASSERT_TRUE(check.ok) << check.detail;
+  EXPECT_TRUE(check.unanimous);
+  LeaderView view(&det);
+  for (Pid p = 0; p < n; ++p) {
+    EXPECT_EQ(view.leader_of(p), check.leader);
+  }
+}
+
+TEST(LeaderViewTest, ReelectsAfterLeaderCrash) {
+  const int n = 4;
+  shm::SimMemory mem;
+  KAntiOmega det(mem, {n, 1, n - 1, 1});
+  shm::Simulator sim(mem, n);
+  for (Pid p = 0; p < n; ++p) sim.process(p).add_task(det.run(p), "fd");
+  sched::RoundRobinGenerator gen(n);
+  const ProcSet all = ProcSet::universe(n);
+  sim.run_until(gen, 600'000, [&] { return det.stabilized(all, 8); });
+  LeaderView view(&det);
+  const Pid old_leader = view.leader_of(0);
+
+  sim.crash(old_leader);
+  const ProcSet correct = all.without(old_leader);
+  // Wait for RE-stabilization onto a live leader: right after the
+  // crash the stale winnerset {old_leader} still looks quiescent.
+  sim.run_until(gen, 1'500'000, [&] {
+    return det.stabilized(correct, 8) &&
+           det.common_winnerset(correct).intersects(correct);
+  });
+  const auto check = check_omega(det, correct, 8);
+  ASSERT_TRUE(check.ok) << check.detail;
+  EXPECT_NE(check.leader, old_leader);
+  EXPECT_TRUE(correct.contains(check.leader));
+}
+
+TEST(AntiOmegaTest, OutputsSingleExcludedProcess) {
+  const int n = 4;
+  shm::SimMemory mem;
+  KAntiOmega det(mem, {n, n - 1, n - 1, 1});  // anti-Omega
+  shm::Simulator sim(mem, n);
+  for (Pid p = 0; p < n; ++p) sim.process(p).add_task(det.run(p), "fd");
+  sched::RoundRobinGenerator gen(n);
+  const ProcSet all = ProcSet::universe(n);
+  sim.run_until(gen, 600'000, [&] { return det.stabilized(all, 8); });
+  ASSERT_TRUE(det.stabilized(all, 8));
+  // All correct processes eventually agree on whom to exclude, and the
+  // excluded process is outside the (correct-containing) winnerset.
+  const Pid excluded = anti_omega_output(det, 0);
+  for (Pid p = 1; p < n; ++p) {
+    EXPECT_EQ(anti_omega_output(det, p), excluded);
+  }
+  EXPECT_FALSE(det.common_winnerset(all).contains(excluded));
+}
+
+TEST(AntiOmegaTest, RequiresSetConsensusDetector) {
+  shm::SimMemory mem;
+  KAntiOmega det(mem, {4, 1, 3, 1});
+  EXPECT_THROW(anti_omega_output(det, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace setlib::fd

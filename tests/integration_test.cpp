@@ -1,0 +1,129 @@
+// End-to-end narratives: the paper's separation story executed across
+// the whole stack, and cross-cutting consistency checks between the
+// engine, the analyzer, and the predicate.
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/experiments.h"
+#include "src/core/solvability.h"
+
+namespace setlib::core {
+namespace {
+
+// The headline narrative (abstract + Section 1): S^k_{t+1,n} is
+// synchronous enough for (t,k,n)-agreement but not for the two
+// incrementally stronger problems. We execute all three against the
+// *same* schedule family parameterization of that system.
+TEST(SeparationStory, SkTplus1SeparatesThreeProblems) {
+  const int t = 2, k = 2, n = 5;
+  const SystemSpec sys = matching_system({t, k, n});  // S^2_{3,5}
+
+  // 1. (t, k, n) in S^k_{t+1,n}: solvable, and the run succeeds.
+  {
+    RunConfig cfg;
+    cfg.spec = {t, k, n};
+    cfg.system = sys;
+    cfg.family = ScheduleFamily::kRotisserie;
+    ASSERT_TRUE(solvable(cfg.spec, sys));
+    const auto report = run_agreement(cfg);
+    EXPECT_TRUE(report.success) << report.detail;
+  }
+
+  // 2. (t+1, k, n) in the same system: the predicate says unsolvable,
+  // and the same adversarial family (now with the larger t' = t+1
+  // tolerated crash count but an unchanged gap) defeats the detector.
+  {
+    RunConfig cfg;
+    cfg.spec = {t + 1, k, n};
+    cfg.system = sys;
+    cfg.family = ScheduleFamily::kRotisserie;
+    cfg.run_full_budget = true;
+    ASSERT_FALSE(solvable(cfg.spec, sys));
+    const auto report = run_agreement(cfg);
+    EXPECT_FALSE(report.detector.abstract_ok) << report.detail;
+  }
+
+  // 3. (t, k-1, n) in the same system: i = k > k-1, so the k-subset
+  // starver family applies and defeats the (k-1)-anti-Omega detector.
+  {
+    RunConfig cfg;
+    cfg.spec = {t, k - 1, n};
+    cfg.system = sys;
+    cfg.family = ScheduleFamily::kKSubsetStarver;
+    cfg.run_full_budget = true;
+    ASSERT_FALSE(solvable(cfg.spec, sys));
+    const auto report = run_agreement(cfg);
+    EXPECT_FALSE(report.detector.abstract_ok) << report.detail;
+  }
+}
+
+TEST(ConsistencyTest, EngineWitnessAgreesWithConfiguredSystem) {
+  // Whatever family the engine picks, the measured witness bound on
+  // the executed schedule must certify membership in S^i_{j,n}:
+  // |P| = i, |Q| = j, and the bound is finite and small.
+  for (const auto family :
+       {ScheduleFamily::kEnforcedRandom, ScheduleFamily::kRotisserie}) {
+    RunConfig cfg;
+    cfg.spec = {2, 2, 5};
+    cfg.system = {2, 3, 5};
+    cfg.family = family;
+    cfg.max_steps = 400'000;
+    const auto report = run_agreement(cfg);
+    EXPECT_EQ(report.timely_set.size(), cfg.system.i);
+    EXPECT_EQ(report.observed_set.size(), cfg.system.j);
+    EXPECT_LE(report.witness_bound,
+              family == ScheduleFamily::kEnforcedRandom
+                  ? cfg.timeliness_bound
+                  : 1);
+  }
+}
+
+TEST(ConsistencyTest, SolvableCellsAlsoSolveUnderContainment) {
+  // Observation 7 executed: if the engine solves (t,k,n) in S^i_j,
+  // it also solves it in S^{i-1}_j and S^i_{j+1} (weaker systems).
+  const AgreementSpec spec{2, 2, 5};
+  const std::vector<SystemSpec> systems{
+      {2, 3, 5}, {1, 3, 5}, {2, 4, 5}, {1, 5, 5}};
+  for (const auto& sys : systems) {
+    ASSERT_TRUE(solvable(spec, sys)) << sys.to_string();
+    RunConfig cfg;
+    cfg.spec = spec;
+    cfg.system = sys;
+    cfg.seed = 21;
+    const auto report = run_agreement(cfg);
+    EXPECT_TRUE(report.success) << sys.to_string() << ": " << report.detail;
+  }
+}
+
+TEST(ConsistencyTest, BinaryProposalsRespectValidity) {
+  // Binary agreement variant: proposals in {0, 1}; decisions must be
+  // binary too (validity) and within k distinct values.
+  RunConfig cfg;
+  cfg.spec = {2, 2, 5};
+  cfg.system = matching_system(cfg.spec);
+  cfg.proposals = {0, 1, 0, 1, 1};
+  const auto report = run_agreement(cfg);
+  EXPECT_TRUE(report.success) << report.detail;
+  for (const auto& d : report.decisions) {
+    if (d.has_value()) {
+      EXPECT_TRUE(*d == 0 || *d == 1);
+    }
+  }
+}
+
+TEST(ConsistencyTest, SeedsProduceIdenticalRuns) {
+  // Full determinism: identical configs yield identical reports.
+  RunConfig cfg;
+  cfg.spec = {2, 1, 4};
+  cfg.system = matching_system(cfg.spec);
+  cfg.seed = 77;
+  const auto a = run_agreement(cfg);
+  const auto b = run_agreement(cfg);
+  EXPECT_EQ(a.steps_executed, b.steps_executed);
+  EXPECT_EQ(a.distinct_decisions, b.distinct_decisions);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.witness_bound, b.witness_bound);
+}
+
+}  // namespace
+}  // namespace setlib::core

@@ -1,0 +1,138 @@
+// ThreadedExecutor edge cases: crash boundaries, op budgets, wall-clock
+// expiry, halted processes, and the pacer's schedule recording under
+// concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/runtime/executor.h"
+#include "src/runtime/pacer.h"
+#include "src/runtime/rt_memory.h"
+#include "src/sched/analyzer.h"
+#include "src/shm/program.h"
+
+namespace setlib::runtime {
+namespace {
+
+shm::Prog spin(shm::RegisterId reg) {
+  for (std::int64_t v = 1;; ++v) {
+    co_await shm::write(reg, shm::Value::of(v));
+  }
+}
+
+shm::Prog finite(shm::RegisterId reg, int ops) {
+  for (int i = 0; i < ops; ++i) {
+    co_await shm::write(reg, shm::Value::of(i + 1));
+  }
+}
+
+TEST(ExecutorTest, WallClockExpiryEndsRun) {
+  RtMemory mem;
+  const auto r0 = mem.alloc("r0");
+  const auto r1 = mem.alloc("r1");
+  ThreadedExecutor exec(mem, 2);
+  exec.process(0).add_task(spin(r0), "spin");
+  exec.process(1).add_task(spin(r1), "spin");
+  Pacer pacer(2, {}, /*record_schedule=*/false);
+  ThreadedExecutor::Options options;
+  options.max_wall = std::chrono::milliseconds(50);
+  const auto stats = exec.run(pacer, options);
+  EXPECT_TRUE(stats.wall_expired);
+  EXPECT_FALSE(stats.all_done);
+  EXPECT_GT(stats.total_ops, 0);
+}
+
+TEST(ExecutorTest, CrashAfterZeroOpsMeansNoSteps) {
+  RtMemory mem;
+  const auto r0 = mem.alloc("r0");
+  const auto r1 = mem.alloc("r1");
+  ThreadedExecutor exec(mem, 2);
+  exec.process(0).add_task(finite(r0, 5), "fin");
+  exec.process(1).add_task(spin(r1), "spin");
+  exec.crash_after(1, 0);
+  Pacer pacer(2, {}, /*record_schedule=*/true);
+  ThreadedExecutor::Options options;
+  options.max_wall = std::chrono::milliseconds(2'000);
+  const auto stats = exec.run(pacer, options);
+  EXPECT_TRUE(stats.all_done);  // process 0 halted; 1 crashed
+  EXPECT_EQ(exec.crashed(), ProcSet::of(1));
+  EXPECT_TRUE(mem.read(r1).is_nil());  // 1 never wrote
+  // The recorded schedule contains no step of process 1.
+  EXPECT_EQ(pacer.recorded_schedule().count(1), 0);
+}
+
+TEST(ExecutorTest, HaltedProcessCountsAsDone) {
+  RtMemory mem;
+  const auto r = mem.alloc("r");
+  ThreadedExecutor exec(mem, 1);
+  exec.process(0).add_task(finite(r, 10), "fin");
+  Pacer pacer(1, {}, false);
+  ThreadedExecutor::Options options;
+  options.max_wall = std::chrono::milliseconds(2'000);
+  const auto stats = exec.run(pacer, options);
+  EXPECT_TRUE(stats.all_done);
+  EXPECT_EQ(mem.read(r).as_int_or(0), 10);
+}
+
+TEST(ExecutorTest, LocalDonePredicateEvaluatedByOwnThread) {
+  RtMemory mem;
+  const auto r0 = mem.alloc("r0");
+  const auto r1 = mem.alloc("r1");
+  ThreadedExecutor exec(mem, 2);
+  exec.process(0).add_task(spin(r0), "spin");
+  exec.process(1).add_task(spin(r1), "spin");
+  std::atomic<int> calls{0};
+  Pacer pacer(2, {}, false);
+  ThreadedExecutor::Options options;
+  options.max_wall = std::chrono::milliseconds(3'000);
+  options.poll_every = 8;
+  options.local_done = [&](Pid p) {
+    calls.fetch_add(1);
+    (void)p;
+    return true;  // everyone is immediately "done"
+  };
+  const auto stats = exec.run(pacer, options);
+  EXPECT_TRUE(stats.all_done);
+  EXPECT_FALSE(stats.wall_expired);
+  EXPECT_GE(calls.load(), 2);
+}
+
+TEST(ExecutorTest, MaxOpsBudgetStopsThreads) {
+  RtMemory mem;
+  const auto r = mem.alloc("r");
+  ThreadedExecutor exec(mem, 1);
+  exec.process(0).add_task(spin(r), "spin");
+  Pacer pacer(1, {}, false);
+  ThreadedExecutor::Options options;
+  options.max_ops_per_process = 1'000;
+  options.max_wall = std::chrono::milliseconds(5'000);
+  const auto stats = exec.run(pacer, options);
+  EXPECT_LE(stats.total_ops, 1'000);
+  EXPECT_EQ(mem.read(r).as_int_or(0), 1'000);
+}
+
+TEST(ExecutorTest, PacerScheduleSatisfiesConstraintUnderThreads) {
+  // Two spinning threads under a tight constraint: the recorded
+  // schedule must satisfy it even though the OS interleaving is wild.
+  RtMemory mem;
+  const auto r0 = mem.alloc("r0");
+  const auto r1 = mem.alloc("r1");
+  ThreadedExecutor exec(mem, 2);
+  exec.process(0).add_task(spin(r0), "spin");
+  exec.process(1).add_task(spin(r1), "spin");
+  Pacer pacer(2,
+              {sched::TimelinessConstraint(ProcSet::of(0), ProcSet::of(1),
+                                           2)},
+              /*record_schedule=*/true);
+  ThreadedExecutor::Options options;
+  options.max_wall = std::chrono::milliseconds(80);
+  exec.run(pacer, options);
+  const auto schedule = pacer.recorded_schedule();
+  ASSERT_GT(schedule.size(), 100);
+  EXPECT_LE(sched::min_timeliness_bound(schedule, ProcSet::of(0),
+                                        ProcSet::of(1)),
+            2);
+}
+
+}  // namespace
+}  // namespace setlib::runtime

@@ -1,0 +1,186 @@
+// The threaded runtime: RtMemory linearizable registers, Pacer
+// semantics, the ThreadedExecutor, and the end-to-end threaded
+// Theorem 24 stack.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/runtime/executor.h"
+#include "src/runtime/pacer.h"
+#include "src/runtime/rt_harness.h"
+#include "src/runtime/rt_memory.h"
+#include "src/sched/analyzer.h"
+#include "src/util/assert.h"
+
+namespace setlib::runtime {
+namespace {
+
+TEST(RtMemoryTest, BasicReadWrite) {
+  RtMemory mem;
+  const shm::RegisterId r = mem.alloc("r");
+  EXPECT_TRUE(mem.read(r).is_nil());
+  mem.write(r, shm::Value::of(3));
+  EXPECT_EQ(mem.read(r).as_int_or(0), 3);
+  EXPECT_EQ(mem.read_count(), 2);
+  EXPECT_EQ(mem.write_count(), 1);
+}
+
+TEST(RtMemoryTest, FreezeForbidsAlloc) {
+  RtMemory mem;
+  mem.alloc("a");
+  mem.freeze();
+  EXPECT_THROW(mem.alloc("b"), ContractViolation);
+}
+
+TEST(RtMemoryTest, ConcurrentReadersWritersKeepValuesIntact) {
+  // Writers store multi-word values; readers must never observe a torn
+  // tuple (each register is mutex-protected).
+  RtMemory mem;
+  const shm::RegisterId r = mem.alloc("r");
+  mem.write(r, shm::Value::of(0, 0));
+  mem.freeze();
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  {
+    std::vector<std::jthread> workers;
+    for (int w = 0; w < 2; ++w) {
+      workers.emplace_back([&, w] {
+        for (std::int64_t x = 1; !stop.load(); ++x) {
+          mem.write(r, shm::Value::of(x + w * 1'000'000,
+                                      x + w * 1'000'000));
+        }
+      });
+    }
+    for (int rd = 0; rd < 2; ++rd) {
+      workers.emplace_back([&] {
+        while (!stop.load()) {
+          const shm::Value v = mem.read(r);
+          if (v.at(0) != v.at(1)) torn.fetch_add(1);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stop.store(true);
+  }
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST(PacerTest, AllowsUpToBoundThenBlocks) {
+  // Constraint: {0} timely w.r.t. {1} at bound 3. Thread for pid 1 can
+  // take 2 steps, then must wait until pid 0 steps.
+  Pacer pacer(2, {sched::TimelinessConstraint(ProcSet::of(0),
+                                              ProcSet::of(1), 3)});
+  EXPECT_TRUE(pacer.step(1));
+  EXPECT_TRUE(pacer.step(1));
+  std::atomic<bool> third_done{false};
+  std::jthread q_thread([&] {
+    EXPECT_TRUE(pacer.step(1));  // blocks until pid 0 steps
+    third_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(third_done.load());
+  EXPECT_TRUE(pacer.step(0));
+  q_thread.join();
+  EXPECT_TRUE(third_done.load());
+  EXPECT_EQ(pacer.steps_taken(), 4);
+
+  const sched::Schedule s = pacer.recorded_schedule();
+  EXPECT_LE(sched::min_timeliness_bound(s, ProcSet::of(0), ProcSet::of(1)),
+            3);
+}
+
+TEST(PacerTest, DeactivatingTimelySetDropsConstraint) {
+  Pacer pacer(2, {sched::TimelinessConstraint(ProcSet::of(0),
+                                              ProcSet::of(1), 2)});
+  EXPECT_TRUE(pacer.step(1));
+  std::atomic<bool> second_done{false};
+  std::jthread q_thread([&] {
+    EXPECT_TRUE(pacer.step(1));
+    second_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_done.load());
+  pacer.deactivate(0);  // P gone: constraint dropped, waiter released
+  q_thread.join();
+  EXPECT_TRUE(second_done.load());
+  EXPECT_EQ(pacer.dropped_constraints(), 1);
+}
+
+TEST(PacerTest, RequestStopReleasesWaiters) {
+  Pacer pacer(2, {sched::TimelinessConstraint(ProcSet::of(0),
+                                              ProcSet::of(1), 1)});
+  std::atomic<bool> returned_false{false};
+  std::jthread q_thread([&] {
+    // bound 1: pid 1 (in Q \ P) can never step before pid 0.
+    if (!pacer.step(1)) returned_false.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pacer.request_stop();
+  q_thread.join();
+  EXPECT_TRUE(returned_false.load());
+  EXPECT_TRUE(pacer.stopped());
+}
+
+TEST(RtHarnessTest, ConsensusOnThreads) {
+  RtRunConfig cfg;
+  cfg.n = 4;
+  cfg.k = 1;
+  cfg.t = 2;
+  const auto report = run_kset_threaded(cfg);
+  EXPECT_TRUE(report.success) << report.detail;
+  EXPECT_EQ(report.distinct_decisions, 1);
+  EXPECT_LE(report.witness_bound, cfg.bound);
+  EXPECT_EQ(report.dropped_constraints, 0);
+}
+
+TEST(RtHarnessTest, KSetWithCrashes) {
+  RtRunConfig cfg;
+  cfg.n = 5;
+  cfg.k = 2;
+  cfg.t = 2;
+  cfg.crash_count = 2;
+  cfg.crash_ops = 1'000;
+  const auto report = run_kset_threaded(cfg);
+  EXPECT_TRUE(report.success) << report.detail;
+  EXPECT_EQ(report.faulty.size(), 2);
+  EXPECT_LE(report.distinct_decisions, 2);
+}
+
+TEST(RtHarnessTest, ImmediateCrashesStillTerminate) {
+  RtRunConfig cfg;
+  cfg.n = 4;
+  cfg.k = 2;
+  cfg.t = 2;
+  cfg.crash_count = 2;
+  cfg.crash_ops = 0;  // crash before taking any step
+  const auto report = run_kset_threaded(cfg);
+  EXPECT_TRUE(report.success) << report.detail;
+}
+
+class RtSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RtSweep, ThreadedStackSolves) {
+  const auto [n, k, t] = GetParam();
+  RtRunConfig cfg;
+  cfg.n = n;
+  cfg.k = k;
+  cfg.t = t;
+  cfg.crash_count = t >= 2 ? 1 : 0;
+  cfg.crash_ops = 3'000;
+  const auto report = run_kset_threaded(cfg);
+  EXPECT_TRUE(report.success)
+      << "n=" << n << " k=" << k << " t=" << t << " :: " << report.detail;
+  EXPECT_LE(report.distinct_decisions, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RtSweep,
+                         ::testing::Values(std::tuple{3, 1, 1},
+                                           std::tuple{4, 1, 2},
+                                           std::tuple{4, 2, 2},
+                                           std::tuple{5, 2, 3},
+                                           std::tuple{6, 3, 3}));
+
+}  // namespace
+}  // namespace setlib::runtime

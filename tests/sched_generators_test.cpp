@@ -1,0 +1,175 @@
+#include "src/sched/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/analyzer.h"
+#include "src/util/assert.h"
+
+namespace setlib::sched {
+namespace {
+
+TEST(RoundRobinTest, CyclesInOrder) {
+  RoundRobinGenerator gen(3);
+  const Schedule s = generate(gen, 7);
+  const std::vector<Pid> expect{0, 1, 2, 0, 1, 2, 0};
+  EXPECT_EQ(s.steps(), expect);
+}
+
+TEST(UniformRandomTest, FairOverLongRuns) {
+  UniformRandomGenerator gen(4, 99);
+  const Schedule s = generate(gen, 40'000);
+  for (Pid p = 0; p < 4; ++p) {
+    EXPECT_NEAR(s.count(p), 10'000, 2'000) << "pid " << p;
+  }
+}
+
+TEST(UniformRandomTest, SeedDeterminism) {
+  UniformRandomGenerator a(5, 1), b(5, 1), c(5, 2);
+  bool differ = false;
+  for (int i = 0; i < 200; ++i) {
+    const Pid pa = a.next();
+    EXPECT_EQ(pa, b.next());
+    if (pa != c.next()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(WeightedRandomTest, RespectsWeights) {
+  WeightedRandomGenerator gen({1.0, 0.0, 9.0}, 5);
+  const Schedule s = generate(gen, 20'000);
+  EXPECT_EQ(s.count(1), 0);
+  EXPECT_GT(s.count(2), 5 * s.count(0));
+}
+
+TEST(Figure1Test, ExactPrefixStructure) {
+  // Phase 1: (p1 q)(p2 q); phase 2: (p1 q)^2 (p2 q)^2; ...
+  Figure1Generator gen(3, 0, 1, 2);
+  const Schedule s = generate(gen, 12);
+  const std::vector<Pid> expect{0, 2, 1, 2,              // i = 1
+                                0, 2, 0, 2, 1, 2, 1, 2}; // i = 2
+  EXPECT_EQ(s.steps(), expect);
+}
+
+TEST(Figure1Test, StepsThroughPhaseFormula) {
+  EXPECT_EQ(Figure1Generator::steps_through_phase(0), 0);
+  EXPECT_EQ(Figure1Generator::steps_through_phase(1), 4);
+  EXPECT_EQ(Figure1Generator::steps_through_phase(2), 12);
+  EXPECT_EQ(Figure1Generator::steps_through_phase(3), 24);
+  // Cross-check: generating through phase i emits exactly that many
+  // steps before the next phase's first step.
+  Figure1Generator gen(3, 0, 1, 2);
+  const Schedule s = generate(gen, 25);
+  EXPECT_EQ(s[24], 0);  // phase 4 starts with p1
+}
+
+TEST(Figure1Test, ValidatesDistinctPids) {
+  EXPECT_THROW((Figure1Generator(3, 0, 0, 2)), ContractViolation);
+  EXPECT_THROW((Figure1Generator(2, 0, 1, 2)), ContractViolation);
+}
+
+TEST(RotatingStarverTest, PhaseStructure) {
+  // Rotors {0,1}, background {2}: phase 1 = [0 2], phase 2 = [1 2][1 2].
+  RotatingStarverGenerator gen(3, ProcSet::of({0, 1}), ProcSet::of({2}), 1);
+  const Schedule s = generate(gen, 6);
+  const std::vector<Pid> expect{0, 2, 1, 2, 1, 2};
+  EXPECT_EQ(s.steps(), expect);
+}
+
+TEST(RotatingStarverTest, RotorSetTimelyButMembersStarved) {
+  const ProcSet rotors = ProcSet::of({0, 1, 2});
+  const ProcSet background = ProcSet::of({3});
+  RotatingStarverGenerator gen(4, rotors, background, 4);
+  const Schedule s = generate(gen, 4'000);
+  // The rotor set as one virtual process is timely w.r.t. background.
+  EXPECT_LE(min_timeliness_bound(s, rotors, background), 2);
+  // Each individual rotor is starved for long stretches.
+  for (Pid r : rotors.to_vector()) {
+    EXPECT_GT(min_timeliness_bound(s, ProcSet::of(r), background), 20)
+        << "rotor " << r;
+  }
+}
+
+TEST(RotatingStarverTest, EmptyBackgroundEmitsRotorsSolo) {
+  RotatingStarverGenerator gen(3, ProcSet::of({0, 1, 2}), ProcSet(), 2);
+  const Schedule s = generate(gen, 2 + 4 + 6);
+  // Phase 1: rotor 0 twice; phase 2: rotor 1 four times; phase 3:
+  // rotor 2 six times.
+  EXPECT_EQ(s.count(0, 0, 2), 2);
+  EXPECT_EQ(s.count(1, 2, 6), 4);
+  EXPECT_EQ(s.count(2, 6, 12), 6);
+}
+
+TEST(KSubsetStarverTest, AtMostKStarvedPerPhase) {
+  const int n = 5, k = 2;
+  KSubsetStarverGenerator gen(n, ProcSet::universe(n), k, 3);
+  // Phase m has length 3m; walk phases and check the silent set size.
+  std::int64_t offset = 0;
+  const Schedule s = generate(gen, 3 * (1 + 2 + 3 + 4 + 5 + 6));
+  for (std::int64_t m = 1; m <= 6; ++m) {
+    const std::int64_t len = 3 * m;
+    ProcSet appearing;
+    for (std::int64_t idx = offset; idx < offset + len; ++idx) {
+      appearing = appearing.with(s[idx]);
+    }
+    EXPECT_GE(appearing.size(), n - k) << "phase " << m;
+    offset += len;
+  }
+}
+
+TEST(KSubsetStarverTest, EveryKSubsetEventuallyStarved) {
+  const int n = 4, k = 1;
+  KSubsetStarverGenerator gen(n, ProcSet::universe(n), k, 8);
+  const Schedule s = generate(gen, 4'000);
+  // Every singleton is starved in some growing phase: its bound w.r.t.
+  // the rest diverges.
+  for (Pid p = 0; p < n; ++p) {
+    EXPECT_GT(min_timeliness_bound(s, ProcSet::of(p),
+                                   ProcSet::of(p).complement(n)),
+              12);
+  }
+  // ... while every (k+1)-subset remains timely w.r.t. everyone.
+  for (const ProcSet pair : k_subsets(n, k + 1)) {
+    EXPECT_LE(min_timeliness_bound(s, pair, ProcSet::universe(n)), 2 * n)
+        << pair.to_string();
+  }
+}
+
+TEST(KSubsetStarverTest, RequiresActiveRemainder) {
+  EXPECT_THROW(
+      (KSubsetStarverGenerator(3, ProcSet::universe(3), 3, 1)),
+      ContractViolation);
+}
+
+TEST(CrashPlanTest, Accessors) {
+  CrashPlan plan(4);
+  EXPECT_EQ(plan.faulty(), ProcSet());
+  plan.set_crash(2, 100);
+  EXPECT_TRUE(plan.crashed_by(2, 100));
+  EXPECT_FALSE(plan.crashed_by(2, 99));
+  EXPECT_EQ(plan.faulty(), ProcSet::of({2}));
+  EXPECT_EQ(plan.correct(), ProcSet::of({0, 1, 3}));
+  EXPECT_EQ(plan.alive_at(99), ProcSet::universe(4));
+  EXPECT_EQ(plan.alive_at(100), ProcSet::of({0, 1, 3}));
+}
+
+TEST(CrashPlanTest, AtFactory) {
+  const CrashPlan plan = CrashPlan::at(5, ProcSet::of({3, 4}), 7);
+  EXPECT_EQ(plan.faulty(), ProcSet::of({3, 4}));
+  EXPECT_EQ(plan.crash_step(3), 7);
+  EXPECT_EQ(plan.crash_step(0), CrashPlan::kNever);
+}
+
+TEST(CrashFilterTest, SuppressesCrashedSteps) {
+  auto base = std::make_unique<RoundRobinGenerator>(3);
+  CrashFilterGenerator gen(std::move(base), CrashPlan::at(3, ProcSet::of({1}), 2));
+  const Schedule s = generate(gen, 8);
+  // Steps 0,1 may include pid 1; from emitted index 2 on, never.
+  for (std::int64_t idx = 2; idx < s.size(); ++idx) {
+    EXPECT_NE(s[idx], 1) << "at " << idx;
+  }
+  EXPECT_GT(s.count(0), 0);
+  EXPECT_GT(s.count(2), 0);
+}
+
+}  // namespace
+}  // namespace setlib::sched

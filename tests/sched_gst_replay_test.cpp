@@ -1,0 +1,144 @@
+// Eventual set timeliness (GST-style schedules) and deterministic
+// replay.
+//
+// A schedule that is adversarial up to a switch point and timely after
+// it has a finite Definition 1 bound — the finite prefix contributes a
+// finite worst window — so it belongs to S^i_{j,n}, and the detector
+// and solver must recover after the switch (the DLS "eventual" shape
+// inside the set-timeliness model).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/agreement/kset.h"
+#include "src/fd/kantiomega.h"
+#include "src/fd/property.h"
+#include "src/sched/analyzer.h"
+#include "src/sched/enforcer.h"
+#include "src/sched/generators.h"
+#include "src/shm/memory.h"
+#include "src/shm/simulator.h"
+
+namespace setlib::sched {
+namespace {
+
+std::unique_ptr<ScheduleGenerator> gst_generator(int n, int k, int t,
+                                                 std::int64_t gst,
+                                                 std::uint64_t seed) {
+  // Before GST: k-subset starvation (no k-set timely). After: enforced
+  // witness (first k timely w.r.t. first t+1, bound 3).
+  auto before = std::make_unique<KSubsetStarverGenerator>(
+      n, ProcSet::universe(n), k, 400);
+  auto base = std::make_unique<UniformRandomGenerator>(n, seed);
+  auto after = EnforcedGenerator::single(
+      std::move(base),
+      TimelinessConstraint(ProcSet::range(0, k), ProcSet::range(0, t + 1),
+                           3));
+  return std::make_unique<SwitchGenerator>(std::move(before),
+                                           std::move(after), gst);
+}
+
+TEST(GstScheduleTest, FiniteBoundDespiteAdversarialPrefix) {
+  const int n = 5, k = 2, t = 2;
+  auto gen = gst_generator(n, k, t, 30'000, 3);
+  const Schedule s = generate(*gen, 120'000);
+  const ProcSet p = ProcSet::range(0, k);
+  const ProcSet q = ProcSet::range(0, t + 1);
+  const std::int64_t whole = min_timeliness_bound(s, p, q);
+  const std::int64_t suffix = min_timeliness_bound(s, p, q, 30'000, 120'000);
+  EXPECT_LE(suffix, 3);
+  EXPECT_GT(whole, 3);                  // prefix damage is visible...
+  EXPECT_LT(whole, 30'001);             // ...but finite (in-system)
+}
+
+class GstRecoverySweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(GstRecoverySweep, DetectorAndSolverRecoverAfterGst) {
+  const int n = 4, k = 1, t = 2;
+  const std::int64_t gst = GetParam();
+  shm::SimMemory mem;
+  fd::KAntiOmega detector(mem, fd::KAntiOmega::Params{n, k, t, 1});
+  agreement::KSetAgreement kset(
+      mem, agreement::KSetAgreement::Params{n, k, t}, &detector);
+  shm::Simulator sim(mem, n);
+  for (Pid p = 0; p < n; ++p) {
+    sim.process(p).add_task(detector.run(p), "fd");
+    kset.install(sim.process(p), p, 100 + p);
+  }
+  auto gen = gst_generator(n, k, t, gst, 17);
+  const ProcSet all = ProcSet::universe(n);
+  sim.run_until(*gen, gst + 2'000'000, [&] {
+    return kset.all_decided(all) && detector.stabilized(all, 6);
+  });
+  EXPECT_TRUE(kset.all_decided(all)) << "gst=" << gst;
+  EXPECT_EQ(kset.distinct_decisions(all).size(), 1u);
+  const auto check = fd::check_kantiomega(detector, all, 6);
+  EXPECT_TRUE(check.ok) << "gst=" << gst << " :: " << check.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(GstPoints, GstRecoverySweep,
+                         ::testing::Values(0, 1'000, 20'000, 100'000,
+                                           400'000));
+
+TEST(SwitchGeneratorTest, SwitchesAtExactStep) {
+  auto before = std::make_unique<WeightedRandomGenerator>(
+      std::vector<double>{1.0, 0.0}, 1);
+  auto after = std::make_unique<WeightedRandomGenerator>(
+      std::vector<double>{0.0, 1.0}, 2);
+  SwitchGenerator gen(std::move(before), std::move(after), 10);
+  const Schedule s = generate(gen, 20);
+  for (std::int64_t idx = 0; idx < 10; ++idx) EXPECT_EQ(s[idx], 0);
+  for (std::int64_t idx = 10; idx < 20; ++idx) EXPECT_EQ(s[idx], 1);
+}
+
+TEST(ReplayGeneratorTest, ReplaysExecutedRunExactly) {
+  // Record a run, then replay it: the executed schedules and the final
+  // shared memory must be identical (full determinism end to end).
+  const int n = 3, k = 1, t = 1;
+  auto run_once = [&](ScheduleGenerator& gen, Schedule* executed,
+                      std::vector<std::int64_t>* decisions) {
+    shm::SimMemory mem;
+    fd::KAntiOmega detector(mem, fd::KAntiOmega::Params{n, k, t, 1});
+    agreement::KSetAgreement kset(
+        mem, agreement::KSetAgreement::Params{n, k, t}, &detector);
+    shm::Simulator sim(mem, n);
+    for (Pid p = 0; p < n; ++p) {
+      sim.process(p).add_task(detector.run(p), "fd");
+      kset.install(sim.process(p), p, 100 + p);
+    }
+    sim.run_until(gen, 200'000, [&] {
+      return kset.all_decided(ProcSet::universe(n));
+    });
+    *executed = sim.executed();
+    decisions->clear();
+    for (Pid p = 0; p < n; ++p) {
+      decisions->push_back(kset.outcome(p).value);
+    }
+  };
+
+  UniformRandomGenerator original(n, 99);
+  Schedule first(n);
+  std::vector<std::int64_t> first_decisions;
+  run_once(original, &first, &first_decisions);
+
+  ReplayGenerator replay(first);
+  Schedule second(n);
+  std::vector<std::int64_t> second_decisions;
+  run_once(replay, &second, &second_decisions);
+
+  EXPECT_EQ(first.steps(), second.steps());
+  EXPECT_EQ(first_decisions, second_decisions);
+}
+
+TEST(ReplayGeneratorTest, FallsBackToRoundRobin) {
+  ReplayGenerator gen(Schedule(3, {2, 2}));
+  EXPECT_EQ(gen.next(), 2);
+  EXPECT_EQ(gen.next(), 2);
+  EXPECT_TRUE(gen.exhausted());
+  EXPECT_EQ(gen.next(), 0);
+  EXPECT_EQ(gen.next(), 1);
+  EXPECT_EQ(gen.next(), 2);
+}
+
+}  // namespace
+}  // namespace setlib::sched

@@ -1,0 +1,92 @@
+// Property tests for the paper's structural observations (Section 2).
+//
+// Observation 2: if P is timely w.r.t. Q and P' w.r.t. Q', then P u P'
+//   is timely w.r.t. Q u Q' (quantitatively, with bound b + b' - 1).
+// Observation 3: timeliness is monotone (grow P, shrink Q).
+// Observation 4/5 are covered at the system level (core tests) and by
+//   the self-timeliness analyzer tests.
+#include <gtest/gtest.h>
+
+#include "src/sched/analyzer.h"
+#include "src/sched/generators.h"
+#include "src/util/rng.h"
+
+namespace setlib::sched {
+namespace {
+
+Schedule random_schedule(int n, std::int64_t len, std::uint64_t seed) {
+  UniformRandomGenerator gen(n, seed);
+  return generate(gen, len);
+}
+
+class ObservationsParamTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ObservationsParamTest, Observation2UnionBound) {
+  const int n = 6;
+  const Schedule s = random_schedule(n, 4'000, GetParam());
+  Rng rng(GetParam() ^ 0xabcddcba);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ProcSet p(rng.next_below(1ull << n) | 1);  // nonempty
+    const ProcSet p2(rng.next_below(1ull << n) | 2);
+    const ProcSet q(rng.next_below(1ull << n));
+    const ProcSet q2(rng.next_below(1ull << n));
+    const std::int64_t b1 = min_timeliness_bound(s, p, q);
+    const std::int64_t b2 = min_timeliness_bound(s, p2, q2);
+    const std::int64_t bu = min_timeliness_bound(s, p | p2, q | q2);
+    // A window with (b1 + b2 - 1) steps of Q u Q' contains b1 of Q or
+    // b2 of Q', hence a step of P or P'.
+    EXPECT_LE(bu, b1 + b2 - 1)
+        << p.to_string() << "," << q.to_string() << " / " << p2.to_string()
+        << "," << q2.to_string();
+  }
+}
+
+TEST_P(ObservationsParamTest, Observation3Monotonicity) {
+  const int n = 6;
+  const Schedule s = random_schedule(n, 4'000, GetParam() ^ 0x5555);
+  Rng rng(GetParam() ^ 0x1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ProcSet p(rng.next_below(1ull << n) | 1);
+    const ProcSet q(rng.next_below(1ull << n));
+    // Grow P, shrink Q: the bound can only improve (or stay equal).
+    ProcSet p_big = p;
+    ProcSet q_small = q;
+    for (Pid x = 0; x < n; ++x) {
+      if (rng.next_bool(0.3)) p_big = p_big.with(x);
+      if (rng.next_bool(0.3)) q_small = q_small.without(x);
+    }
+    EXPECT_LE(min_timeliness_bound(s, p_big, q_small),
+              min_timeliness_bound(s, p, q));
+  }
+}
+
+TEST_P(ObservationsParamTest, Definition1WindowSemantics) {
+  // Direct cross-check of the analyzer against a brute-force windows
+  // scan: for the computed bound b, no P-free window has b Q-steps, and
+  // some P-free window has b-1 (when b > 1).
+  const int n = 4;
+  const Schedule s = random_schedule(n, 300, GetParam() ^ 0x77);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    const ProcSet p(rng.next_below(1ull << n) | 1);
+    const ProcSet q(rng.next_below(1ull << n));
+    const std::int64_t b = min_timeliness_bound(s, p, q);
+    std::int64_t worst = 0;
+    for (std::int64_t a = 0; a < s.size(); ++a) {
+      std::int64_t qc = 0;
+      for (std::int64_t e = a; e < s.size(); ++e) {
+        if (p.contains(s[e])) break;
+        if (q.contains(s[e])) ++qc;
+      }
+      worst = std::max(worst, qc);
+    }
+    EXPECT_EQ(b, worst + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObservationsParamTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+}  // namespace
+}  // namespace setlib::sched

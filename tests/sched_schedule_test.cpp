@@ -1,0 +1,66 @@
+#include "src/sched/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/assert.h"
+
+namespace setlib::sched {
+namespace {
+
+TEST(ScheduleTest, AppendAndIndex) {
+  Schedule s(3);
+  EXPECT_TRUE(s.empty());
+  s.append(0);
+  s.append(2);
+  s.append(1);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s[0], 0);
+  EXPECT_EQ(s[1], 2);
+  EXPECT_EQ(s[2], 1);
+}
+
+TEST(ScheduleTest, RejectsOutOfRangePids) {
+  Schedule s(2);
+  EXPECT_THROW(s.append(2), ContractViolation);
+  EXPECT_THROW(s.append(-1), ContractViolation);
+  EXPECT_THROW((Schedule(2, {0, 1, 2})), ContractViolation);
+}
+
+TEST(ScheduleTest, CountsPerProcessAndSet) {
+  const Schedule s(3, {0, 1, 0, 2, 0, 1});
+  EXPECT_EQ(s.count(0), 3);
+  EXPECT_EQ(s.count(1), 2);
+  EXPECT_EQ(s.count(2), 1);
+  EXPECT_EQ(s.count(0, 1, 4), 1);  // window [1,4) = 1,0,2
+  EXPECT_EQ(s.count_set(ProcSet::of({0, 2})), 4);
+  EXPECT_EQ(s.count_set(ProcSet::of({1, 2}), 0, 3), 1);
+}
+
+TEST(ScheduleTest, AppearingFrom) {
+  const Schedule s(4, {0, 1, 2, 1, 1});
+  EXPECT_EQ(s.appearing(), ProcSet::of({0, 1, 2}));
+  EXPECT_EQ(s.appearing_from(3), ProcSet::of({1}));
+  EXPECT_EQ(s.appearing_from(5), ProcSet());
+}
+
+TEST(ScheduleTest, ConcatPreservesOrder) {
+  const Schedule a(2, {0, 1});
+  const Schedule b(2, {1, 1});
+  const Schedule c = a.concat(b);
+  ASSERT_EQ(c.size(), 4);
+  EXPECT_EQ(c[0], 0);
+  EXPECT_EQ(c[3], 1);
+}
+
+TEST(ScheduleTest, SliceIsHalfOpen) {
+  const Schedule s(3, {0, 1, 2, 0, 1});
+  const Schedule mid = s.slice(1, 4);
+  ASSERT_EQ(mid.size(), 3);
+  EXPECT_EQ(mid[0], 1);
+  EXPECT_EQ(mid[2], 0);
+  EXPECT_EQ(s.slice(2, 2).size(), 0);
+  EXPECT_THROW(s.slice(3, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace setlib::sched

@@ -1,0 +1,231 @@
+// Unit tests for the shared-memory substrate: values, memory, coroutine
+// programs, process runtimes, and the simulator.
+#include <gtest/gtest.h>
+
+#include "src/sched/generators.h"
+#include "src/shm/memory.h"
+#include "src/shm/process.h"
+#include "src/shm/program.h"
+#include "src/shm/simulator.h"
+#include "src/util/assert.h"
+
+namespace setlib::shm {
+namespace {
+
+TEST(ValueTest, NilAndFields) {
+  const Value nil;
+  EXPECT_TRUE(nil.is_nil());
+  EXPECT_EQ(nil.as_int_or(-7), -7);
+  EXPECT_EQ(nil.at_or(3, 9), 9);
+
+  const Value v = Value::of(1, 2, 3);
+  EXPECT_FALSE(v.is_nil());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at(0), 1);
+  EXPECT_EQ(v.at(2), 3);
+  EXPECT_EQ(v.at_or(5, -1), -1);
+  EXPECT_THROW(v.at(3), ContractViolation);
+}
+
+TEST(ValueTest, EqualityAndPrinting) {
+  EXPECT_EQ(Value::of(4), Value{4});
+  EXPECT_NE(Value::of(4), Value::of(4, 0));
+  EXPECT_EQ(Value().to_string(), "_|_");
+  EXPECT_EQ(Value::of(1, 2).to_string(), "(1,2)");
+}
+
+TEST(SimMemoryTest, AllocReadWrite) {
+  SimMemory mem;
+  const RegisterId r = mem.alloc("r");
+  EXPECT_EQ(mem.register_count(), 1);
+  EXPECT_EQ(mem.name(r), "r");
+  EXPECT_TRUE(mem.read(r).is_nil());
+  mem.write(r, Value::of(5));
+  EXPECT_EQ(mem.read(r).as_int_or(0), 5);
+  EXPECT_EQ(mem.read_count(), 2);
+  EXPECT_EQ(mem.write_count(), 1);
+  EXPECT_EQ(mem.peek(r), Value::of(5));  // peek does not count
+  EXPECT_EQ(mem.read_count(), 2);
+}
+
+TEST(SimMemoryTest, AllocArrayContiguous) {
+  SimMemory mem;
+  mem.alloc("pad");
+  const RegisterId base = mem.alloc_array("arr", 4);
+  EXPECT_EQ(mem.register_count(), 5);
+  EXPECT_EQ(mem.name(base), "arr[0]");
+  EXPECT_EQ(mem.name(base + 3), "arr[3]");
+  EXPECT_THROW(mem.read(99), ContractViolation);
+}
+
+// A tiny program: write x, read it back into *out, write x+1.
+Prog write_read_write(RegisterId reg, std::int64_t x, std::int64_t* out) {
+  co_await write(reg, Value::of(x));
+  const Value v = co_await read(reg);
+  *out = v.as_int_or(-1);
+  co_await write(reg, Value::of(x + 1));
+}
+
+TEST(ProgramTest, OneOpPerStep) {
+  SimMemory mem;
+  const RegisterId r = mem.alloc("r");
+  std::int64_t out = 0;
+  ProcessRuntime proc(0);
+  proc.add_task(write_read_write(r, 10, &out), "wrw");
+
+  EXPECT_FALSE(proc.halted());
+  EXPECT_TRUE(proc.step(mem));  // write 10
+  EXPECT_EQ(mem.peek(r), Value::of(10));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(proc.step(mem));  // read
+  EXPECT_EQ(out, 10);
+  EXPECT_TRUE(proc.step(mem));  // write 11
+  EXPECT_EQ(mem.peek(r), Value::of(11));
+  EXPECT_TRUE(proc.halted());
+  EXPECT_FALSE(proc.step(mem));  // halted: no-op step
+  EXPECT_EQ(proc.ops_executed(), 3);
+}
+
+Prog thrower(RegisterId reg) {
+  co_await write(reg, Value::of(1));
+  throw std::runtime_error("program bug");
+}
+
+TEST(ProgramTest, ExceptionsPropagateToDriver) {
+  SimMemory mem;
+  const RegisterId r = mem.alloc("r");
+  ProcessRuntime proc(0);
+  proc.add_task(thrower(r), "thrower");
+  // The first step executes the write and resumes into the throw; the
+  // exception must surface at the driver, not be swallowed.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 3; ++i) proc.step(mem);
+      },
+      std::runtime_error);
+  EXPECT_EQ(mem.peek(r), Value::of(1));  // the write did happen
+}
+
+Prog incrementer(RegisterId reg, int times) {
+  for (int idx = 0; idx < times; ++idx) {
+    const Value v = co_await read(reg);
+    co_await write(reg, Value::of(v.as_int_or(0) + 1));
+  }
+}
+
+TEST(ProcessRuntimeTest, RoundRobinAcrossTasks) {
+  SimMemory mem;
+  const RegisterId a = mem.alloc("a");
+  const RegisterId b = mem.alloc("b");
+  ProcessRuntime proc(0);
+  proc.add_task(incrementer(a, 2), "inc-a");
+  proc.add_task(incrementer(b, 2), "inc-b");
+  // 8 ops total, alternating between the two tasks.
+  for (int idx = 0; idx < 8; ++idx) EXPECT_TRUE(proc.step(mem));
+  EXPECT_TRUE(proc.halted());
+  EXPECT_EQ(mem.peek(a), Value::of(2));
+  EXPECT_EQ(mem.peek(b), Value::of(2));
+}
+
+TEST(ProcessRuntimeTest, FinishedTaskSkipped) {
+  SimMemory mem;
+  const RegisterId a = mem.alloc("a");
+  const RegisterId b = mem.alloc("b");
+  ProcessRuntime proc(0);
+  proc.add_task(incrementer(a, 1), "short");
+  proc.add_task(incrementer(b, 3), "long");
+  for (int idx = 0; idx < 8; ++idx) proc.step(mem);
+  EXPECT_EQ(mem.peek(a), Value::of(1));
+  EXPECT_EQ(mem.peek(b), Value::of(3));
+}
+
+TEST(SubProgramPumpTest, ForwardsChildOps) {
+  SimMemory mem;
+  const RegisterId r = mem.alloc("r");
+  std::int64_t seen = -1;
+  auto parent = [](RegisterId reg, std::int64_t* out) -> Prog {
+    co_await write(reg, Value::of(7));
+    SETLIB_CO_RUN(incrementer(reg, 2));
+    const Value v = co_await read(reg);
+    *out = v.as_int_or(0);
+  };
+  ProcessRuntime proc(0);
+  proc.add_task(parent(r, &seen), "parent");
+  // Ops: write + (read+write)*2 + read = 6.
+  int ops = 0;
+  while (!proc.halted() && ops < 20) {
+    proc.step(mem);
+    ++ops;
+  }
+  EXPECT_EQ(ops, 6);
+  EXPECT_EQ(seen, 9);
+}
+
+TEST(SimulatorTest, RecordsExecutedSchedule) {
+  SimMemory mem;
+  const RegisterId r = mem.alloc("r");
+  Simulator sim(mem, 3);
+  for (Pid p = 0; p < 3; ++p) {
+    sim.process(p).add_task(incrementer(r, 100), "inc");
+  }
+  sched::RoundRobinGenerator gen(3);
+  EXPECT_EQ(sim.run(gen, 30), 30);
+  EXPECT_EQ(sim.executed().size(), 30);
+  for (Pid p = 0; p < 3; ++p) EXPECT_EQ(sim.executed().count(p), 10);
+}
+
+TEST(SimulatorTest, CrashStopsSteps) {
+  SimMemory mem;
+  const RegisterId r = mem.alloc("r");
+  Simulator sim(mem, 2);
+  sim.process(0).add_task(incrementer(r, 1'000), "inc0");
+  sim.process(1).add_task(incrementer(r, 1'000), "inc1");
+  sim.crash(1);
+  sched::RoundRobinGenerator gen(2);
+  sim.run(gen, 50);
+  EXPECT_EQ(sim.executed().count(1), 0);
+  EXPECT_EQ(sim.executed().count(0), 50);
+  EXPECT_TRUE(sim.crashed(1));
+  EXPECT_EQ(sim.crashed_set(), ProcSet::of({1}));
+}
+
+TEST(SimulatorTest, CrashPlanTriggersMidRun) {
+  SimMemory mem;
+  const RegisterId r = mem.alloc("r");
+  Simulator sim(mem, 2);
+  sim.process(0).add_task(incrementer(r, 10'000), "inc0");
+  sim.process(1).add_task(incrementer(r, 10'000), "inc1");
+  sim.use_crash_plan(sched::CrashPlan::at(2, ProcSet::of(1), 20));
+  sched::RoundRobinGenerator gen(2);
+  sim.run(gen, 100);
+  EXPECT_EQ(sim.executed().count(1, 20, sim.executed().size()), 0);
+  EXPECT_GT(sim.executed().count(1), 0);
+}
+
+TEST(SimulatorTest, RunUntilStops) {
+  SimMemory mem;
+  const RegisterId r = mem.alloc("r");
+  Simulator sim(mem, 2);
+  sim.process(0).add_task(incrementer(r, 100'000), "inc");
+  sim.process(1).add_task(incrementer(r, 100'000), "inc");
+  sched::RoundRobinGenerator gen(2);
+  const std::int64_t steps = sim.run_until(
+      gen, 1'000'000, [&] { return mem.peek(r).as_int_or(0) >= 50; },
+      /*check_every=*/1);
+  EXPECT_LT(steps, 200);
+  EXPECT_GE(mem.peek(r).as_int_or(0), 50);
+}
+
+TEST(SimulatorTest, StepAccountingMatchesMemoryCounters) {
+  SimMemory mem;
+  const RegisterId r = mem.alloc("r");
+  Simulator sim(mem, 2);
+  sim.process(0).add_task(incrementer(r, 50), "inc");
+  sim.process(1).add_task(incrementer(r, 50), "inc");
+  sched::RoundRobinGenerator gen(2);
+  sim.run(gen, 120);
+  EXPECT_EQ(mem.read_count() + mem.write_count(), 120);
+}
+
+}  // namespace
+}  // namespace setlib::shm

@@ -1,0 +1,202 @@
+// Randomized soak sweeps: wide (t, k, n) x seed x crash-pattern grids
+// through the full engine, boundary instances (wait-free t = n-1, set
+// agreement k = n-1, minimal n = 2), and randomized crash timing.
+// These are the "many seeds, no surprises" guards on top of the
+// targeted unit/property tests.
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/solvability.h"
+#include "src/util/rng.h"
+
+namespace setlib::core {
+namespace {
+
+class EngineSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineSoak, RandomSolvableConfigsAlwaysSucceed) {
+  // Draw random valid (t, k, n) with k <= t, a random system on the
+  // solvable side of the frontier, random crash pattern within t, and
+  // run the full stack.
+  Rng rng(GetParam() * 2654435761u + 17);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int n = static_cast<int>(rng.next_in(3, 6));
+    const int t = static_cast<int>(rng.next_in(1, n - 1));
+    const int k = static_cast<int>(rng.next_in(1, t));
+    // Solvable region: i <= k, j >= i + (t+1-k).
+    const int i = static_cast<int>(rng.next_in(1, k));
+    const int j_min = i + (t + 1 - k);
+    if (j_min > n) continue;  // no solvable cell at this i
+    const int j = static_cast<int>(rng.next_in(j_min, n));
+
+    RunConfig cfg;
+    cfg.spec = {t, k, n};
+    cfg.system = {i, j, n};
+    ASSERT_TRUE(solvable(cfg.spec, cfg.system));
+    cfg.seed = rng.next_u64();
+    cfg.max_steps = 3'000'000;
+
+    // Random crashes among processes outside the witness timely set,
+    // at random times.
+    const int max_crash = std::min(t, n - i);
+    const int crashes = static_cast<int>(rng.next_in(0, max_crash));
+    if (crashes > 0) {
+      auto plan = sched::CrashPlan::none(n);
+      for (int c = 0; c < crashes; ++c) {
+        plan.set_crash(n - 1 - c, rng.next_in(0, 60'000));
+      }
+      cfg.crashes = plan;
+    }
+
+    const auto report = run_agreement(cfg);
+    EXPECT_TRUE(report.success)
+        << "t=" << t << " k=" << k << " n=" << n << " i=" << i
+        << " j=" << j << " crashes=" << crashes << " seed=" << cfg.seed
+        << " :: " << report.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineSoak,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(BoundaryInstances, WaitFreeConsensusNeedsAlmostAllObserved) {
+  // t = n-1 (wait-free), k = 1: the matching system is S^1_{n,n}.
+  RunConfig cfg;
+  cfg.spec = {3, 1, 4};
+  cfg.system = matching_system(cfg.spec);
+  EXPECT_EQ(cfg.system.j, 4);
+  const auto report = run_agreement(cfg);
+  EXPECT_TRUE(report.success) << report.detail;
+}
+
+TEST(BoundaryInstances, WaitFreeSetAgreement) {
+  // t = n-1, k = n-1 (wait-free set agreement): matching system
+  // S^{n-1}_{n,n} — barely more than asynchrony.
+  RunConfig cfg;
+  cfg.spec = {4, 4, 5};
+  cfg.system = matching_system(cfg.spec);
+  EXPECT_EQ(cfg.system.i, 4);
+  EXPECT_EQ(cfg.system.j, 5);
+  const auto report = run_agreement(cfg);
+  EXPECT_TRUE(report.success) << report.detail;
+  EXPECT_LE(report.distinct_decisions, 4);
+}
+
+TEST(BoundaryInstances, MinimalSystemTwoProcesses) {
+  // n = 2, t = 1, k = 1: S^1_{2,2}; also the FLP-minimal instance.
+  RunConfig cfg;
+  cfg.spec = {1, 1, 2};
+  cfg.system = matching_system(cfg.spec);
+  const auto report = run_agreement(cfg);
+  EXPECT_TRUE(report.success) << report.detail;
+
+  // And with one crash (the other process must still decide).
+  auto plan = sched::CrashPlan::none(2);
+  plan.set_crash(1, 3'000);
+  cfg.crashes = plan;
+  cfg.run_full_budget = false;
+  const auto report2 = run_agreement(cfg);
+  EXPECT_TRUE(report2.success) << report2.detail;
+}
+
+TEST(BoundaryInstances, WaitFreeWithAllToleratedCrashes) {
+  // t = n-1 and exactly t processes crash: only one survivor, which
+  // must still decide (its own value, by validity).
+  RunConfig cfg;
+  cfg.spec = {3, 2, 4};
+  cfg.system = matching_system(cfg.spec);
+  cfg.run_full_budget = true;
+  cfg.max_steps = 1'000'000;
+  auto plan = sched::CrashPlan::none(4);
+  plan.set_crash(1, 20'000);
+  plan.set_crash(2, 30'000);
+  plan.set_crash(3, 40'000);
+  cfg.crashes = plan;
+  const auto report = run_agreement(cfg);
+  EXPECT_TRUE(report.success) << report.detail;
+  ASSERT_TRUE(report.decisions[0].has_value());
+}
+
+TEST(BoundaryInstances, TrivialRegimeExactBoundary) {
+  // k = t + 1 is the first trivially solvable k; k = t is not trivial.
+  RunConfig cfg;
+  cfg.spec = {2, 3, 5};
+  cfg.system = {5, 5, 5};  // pure asynchrony
+  ASSERT_TRUE(solvable(cfg.spec, cfg.system));
+  const auto report = run_agreement(cfg);
+  EXPECT_TRUE(report.success) << report.detail;
+  EXPECT_EQ(report.algorithm, "trivial");
+  EXPECT_LE(report.distinct_decisions, 3);
+
+  ASSERT_FALSE(solvable({2, 2, 5}, {5, 5, 5}));
+}
+
+class CrashTimingSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CrashTimingSweep, CrashAtAnyPhaseIsTolerated) {
+  // The same config with the crash time swept from "before the first
+  // step" to "after everyone decided".
+  RunConfig cfg;
+  cfg.spec = {2, 1, 4};
+  cfg.system = matching_system(cfg.spec);
+  cfg.seed = 5;
+  cfg.run_full_budget = true;
+  cfg.max_steps = 400'000;
+  auto plan = sched::CrashPlan::none(4);
+  plan.set_crash(3, GetParam());
+  plan.set_crash(2, GetParam() * 2);
+  cfg.crashes = plan;
+  const auto report = run_agreement(cfg);
+  EXPECT_TRUE(report.success)
+      << "crash_step=" << GetParam() << " :: " << report.detail;
+  EXPECT_EQ(report.distinct_decisions, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, CrashTimingSweep,
+                         ::testing::Values(0, 1, 7, 63, 255, 1024, 8191,
+                                           65536));
+
+class SafetySoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SafetySoak, SafetyHoldsEvenOnUnsolvableCells) {
+  // Agreement and validity are *unconditional* (Paxos safety): even on
+  // unsolvable cells under adversarial schedules, a run may fail to
+  // terminate but must never produce > k distinct or invalid values.
+  Rng rng(GetParam() * 40503 + 5);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int n = static_cast<int>(rng.next_in(3, 6));
+    const int t = static_cast<int>(rng.next_in(1, n - 1));
+    const int k = static_cast<int>(rng.next_in(1, t));
+    // Pick an arbitrary (possibly unsolvable) cell and an adversarial
+    // family that applies to it.
+    const int i = static_cast<int>(rng.next_in(1, n));
+    const int j = static_cast<int>(rng.next_in(i, n));
+
+    RunConfig cfg;
+    cfg.spec = {t, k, n};
+    cfg.system = {i, j, n};
+    cfg.seed = rng.next_u64();
+    cfg.max_steps = 250'000;
+    cfg.run_full_budget = true;
+    if (i > k) {
+      cfg.family = ScheduleFamily::kKSubsetStarver;
+    } else if (j - i <= t) {
+      cfg.family = ScheduleFamily::kRotisserie;
+    } else {
+      cfg.family = ScheduleFamily::kEnforcedRandom;
+    }
+
+    const auto report = run_agreement(cfg);
+    EXPECT_TRUE(report.agreement_ok)
+        << "t=" << t << " k=" << k << " n=" << n << " i=" << i
+        << " j=" << j << " :: " << report.detail;
+    EXPECT_TRUE(report.validity_ok) << report.detail;
+    EXPECT_LE(report.distinct_decisions, k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafetySoak,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace setlib::core
