@@ -9,10 +9,14 @@
 //   scenario ROTISSERIE: t+1-k processes crash at step 0 and the live
 //     processes rotate solo in growing bursts: each live k-set has
 //     exactly t+1 freezable entries, so quantiles >= t+2 never settle.
+// The (quantile, scenario) grid shards across the sweep pool
+// (--threads).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
+#include "src/core/sweep.h"
+#include "src/core/sweep_cli.h"
 #include "src/fd/kantiomega.h"
 #include "src/fd/property.h"
 #include "src/sched/generators.h"
@@ -25,10 +29,10 @@ namespace {
 using namespace setlib;
 
 struct Outcome {
-  bool property;
-  bool stabilized;
+  bool property = false;
+  bool stabilized = false;
   std::string winnerset;
-  std::int64_t changes;
+  std::int64_t changes = 0;
 };
 
 Outcome run_scenario(int n, int k, int t, int quantile, bool rotisserie) {
@@ -63,13 +67,29 @@ Outcome run_scenario(int n, int k, int t, int quantile, bool rotisserie) {
           check.stabilized ? check.winnerset.to_string() : "-", changes};
 }
 
-void print_ablation(int n, int k, int t) {
+void print_ablation(int n, int k, int t,
+                    const core::BenchOptions& options,
+                    core::BenchJson& json) {
+  // Grid: quantile (1..n) × scenario (CRASH, ROTISSERIE), flattened
+  // with the scenario as the inner axis.
+  const std::size_t cells = static_cast<std::size_t>(n) * 2;
+  core::WallTimer timer;
+  const auto outcomes = core::parallel_map<Outcome>(
+      cells, options.threads, [&](std::size_t idx) {
+        const int quantile = static_cast<int>(idx / 2) + 1;
+        const bool rotisserie = idx % 2 == 1;
+        return run_scenario(n, k, t, quantile, rotisserie);
+      });
+  const double wall = timer.seconds();
+
   TextTable table({"quantile", "CRASH: property", "CRASH: winnerset",
                    "ROTISSERIE: property", "ROTISSERIE: ws changes",
                    "verdict"});
   for (int quantile = 1; quantile <= n; ++quantile) {
-    const auto crash = run_scenario(n, k, t, quantile, false);
-    const auto rot = run_scenario(n, k, t, quantile, true);
+    const Outcome& crash =
+        outcomes[static_cast<std::size_t>(quantile - 1) * 2];
+    const Outcome& rot =
+        outcomes[static_cast<std::size_t>(quantile - 1) * 2 + 1];
     const bool both = crash.property && rot.property;
     std::string label = std::to_string(quantile);
     if (quantile == t + 1) label += " (paper)";
@@ -85,6 +105,9 @@ void print_ablation(int n, int k, int t) {
             << " k=" << k << " t=" << t
             << " (paper uses the (t+1)-st smallest = " << t + 1 << ")\n"
             << table.render() << "\n";
+  std::string section = "ablation_n" + std::to_string(n) + "k" +
+                        std::to_string(k) + "t" + std::to_string(t);
+  json.section(section, cells, wall);
 }
 
 void BM_AblationScenario(benchmark::State& state) {
@@ -99,8 +122,12 @@ BENCHMARK(BM_AblationScenario)->Arg(1)->Arg(3)->Arg(4)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_ablation(5, 2, 2);
-  print_ablation(6, 2, 3);
+  const auto options =
+      core::parse_bench_options(&argc, argv, "ablation_quantile");
+  core::BenchJson json(options);
+  print_ablation(5, 2, 2, options, json);
+  print_ablation(6, 2, 3, options, json);
+  json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

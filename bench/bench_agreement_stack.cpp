@@ -1,11 +1,15 @@
 // EXP-SUB2 — agreement-stack microbenchmarks: commit-adopt, safe
 // agreement, Paxos (solo-leader decision latency in steps and in
-// time), and the trivial algorithm.
+// time), and the trivial algorithm. A full-stack SweepGrid section
+// (spec × family × --repeat seeds) runs through core::ParallelSweep.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <memory>
 
 #include "src/agreement/commit_adopt.h"
+#include "src/core/sweep.h"
+#include "src/core/sweep_cli.h"
 #include "src/agreement/multishot.h"
 #include "src/agreement/paxos.h"
 #include "src/agreement/trivial.h"
@@ -176,6 +180,44 @@ void BM_TrivialAgreement(benchmark::State& state) {
 }
 BENCHMARK(BM_TrivialAgreement)->Arg(3)->Arg(9)->Arg(18);
 
+void print_stack_sweep(const core::BenchOptions& options,
+                       core::BenchJson& json) {
+  // EXP-SUB2b: the whole detector + Paxos stack as a SweepGrid — specs
+  // × both frontier families × `--repeat` index-derived seeds.
+  core::SweepGrid grid;
+  grid.add_spec({2, 2, 5})
+      .add_spec({3, 2, 5})
+      .add_family(core::ScheduleFamily::kEnforcedRandom)
+      .add_family(core::ScheduleFamily::kRotisserie)
+      .repeats(options.repeat)
+      .base_seed(7);
+  core::RunConfig proto;
+  proto.max_steps = 900'000;
+  proto.run_full_budget = false;
+  grid.prototype(proto);
+
+  const core::SweepResult result =
+      core::ParallelSweep({options.threads}).run(grid);
+  std::cout << "EXP-SUB2b: full-stack sweep (repeat=" << options.repeat
+            << ", threads=" << options.threads << ", "
+            << result.aggregate.cells << " cells, "
+            << result.aggregate.runs_per_second << " runs/sec)\n"
+            << result.render_success_matrix() << "\n";
+  json.section(
+      "stack_sweep", result.aggregate.cells,
+      result.aggregate.wall_seconds,
+      {{"successes", static_cast<double>(result.aggregate.successes)}});
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto options =
+      setlib::core::parse_bench_options(&argc, argv, "agreement_stack");
+  setlib::core::BenchJson json(options);
+  print_stack_sweep(options, json);
+  json.write_if_requested();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

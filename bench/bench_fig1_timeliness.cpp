@@ -5,21 +5,29 @@
 // set {p1, p2} — viewed as one virtual process — is. The table prints
 // the minimal timeliness bound of each candidate on growing prefixes:
 // the singleton bounds diverge linearly with the phase index, the
-// union's bound is the constant 2.
+// union's bound is the constant 2. The per-prefix bound scans shard
+// across the sweep pool (--threads).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "src/core/experiments.h"
+#include "src/core/sweep_cli.h"
 #include "src/sched/analyzer.h"
 #include "src/sched/generators.h"
 #include "src/util/table.h"
 
 namespace {
 
-void print_figure1_table() {
-  using namespace setlib;
-  const auto rows = core::figure1_rows(16);
+using namespace setlib;
+
+void print_figure1_table(const core::BenchOptions& options,
+                         core::BenchJson& json) {
+  const std::int64_t phases = 16;
+  core::WallTimer timer;
+  const auto rows = core::figure1_rows(phases, options.threads);
+  const double wall = timer.seconds();
+
   TextTable table({"phase i", "prefix steps", "bound {p1} vs {q}",
                    "bound {p2} vs {q}", "bound {p1,p2} vs {q}"});
   for (const auto& row : rows) {
@@ -34,13 +42,14 @@ void print_figure1_table() {
             << "Claim: singleton bounds diverge; the union is timely "
                "with bound 2.\n"
             << table.render() << "\n";
+  json.section("figure1", rows.size(), wall);
 }
 
 void BM_Figure1Generate(benchmark::State& state) {
   const std::int64_t steps = state.range(0);
   for (auto _ : state) {
-    setlib::sched::Figure1Generator gen(3, 0, 1, 2);
-    benchmark::DoNotOptimize(setlib::sched::generate(gen, steps));
+    sched::Figure1Generator gen(3, 0, 1, 2);
+    benchmark::DoNotOptimize(sched::generate(gen, steps));
   }
   state.SetItemsProcessed(state.iterations() * steps);
 }
@@ -48,11 +57,11 @@ BENCHMARK(BM_Figure1Generate)->Arg(1 << 12)->Arg(1 << 16);
 
 void BM_MinTimelinessBound(benchmark::State& state) {
   const std::int64_t steps = state.range(0);
-  setlib::sched::Figure1Generator gen(3, 0, 1, 2);
-  const auto schedule = setlib::sched::generate(gen, steps);
+  sched::Figure1Generator gen(3, 0, 1, 2);
+  const auto schedule = sched::generate(gen, steps);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(setlib::sched::min_timeliness_bound(
-        schedule, setlib::ProcSet::of({0, 1}), setlib::ProcSet::of(2)));
+    benchmark::DoNotOptimize(sched::min_timeliness_bound(
+        schedule, ProcSet::of({0, 1}), ProcSet::of(2)));
   }
   state.SetItemsProcessed(state.iterations() * steps);
 }
@@ -60,9 +69,9 @@ BENCHMARK(BM_MinTimelinessBound)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_SystemMembershipBestPair(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  setlib::sched::UniformRandomGenerator gen(n, 42);
-  const auto schedule = setlib::sched::generate(gen, 4'000);
-  const setlib::sched::SystemMembership membership(schedule);
+  sched::UniformRandomGenerator gen(n, 42);
+  const auto schedule = sched::generate(gen, 4'000);
+  const sched::SystemMembership membership(schedule);
   for (auto _ : state) {
     benchmark::DoNotOptimize(membership.best_pair(2, n - 1));
   }
@@ -72,7 +81,11 @@ BENCHMARK(BM_SystemMembershipBestPair)->Arg(4)->Arg(6)->Arg(8);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure1_table();
+  const auto options =
+      core::parse_bench_options(&argc, argv, "fig1_timeliness");
+  core::BenchJson json(options);
+  print_figure1_table(options, json);
+  json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -3,13 +3,18 @@
 //
 // Series: steps and loop iterations to stabilization across (n, k, t),
 // with and without crashes, plus the per-iteration register-operation
-// cost model |Pi_n^k| * n + n + 1 + |Pi_n^k|. The microbenchmarks time
-// raw simulator throughput while the detector runs.
+// cost model |Pi_n^k| * n + n + 1 + |Pi_n^k|. Every series' rows are
+// independent simulator runs, so they shard across the sweep pool
+// (--threads); the microbenchmarks time raw simulator throughput while
+// the detector runs.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <memory>
 
 #include "src/core/experiments.h"
+#include "src/core/sweep.h"
+#include "src/core/sweep_cli.h"
 #include "src/fd/kantiomega.h"
 #include "src/sched/enforcer.h"
 #include "src/sched/generators.h"
@@ -19,10 +24,10 @@
 
 namespace {
 
-void print_convergence_table() {
-  using namespace setlib;
-  TextTable table({"n", "k", "t", "crashes", "stabilized", "property",
-                   "winnerset", "steps", "iterations", "ops/iteration"});
+using namespace setlib;
+
+void print_convergence_table(const core::BenchOptions& options,
+                             core::BenchJson& json) {
   struct Row {
     int n, k, t, crashes;
   };
@@ -30,16 +35,29 @@ void print_convergence_table() {
                       {4, 1, 2, 2}, {4, 2, 2, 1}, {5, 2, 2, 0},
                       {5, 2, 3, 3}, {6, 2, 3, 2}, {6, 3, 3, 0},
                       {7, 3, 4, 2}, {8, 2, 4, 3}};
-  for (const auto& row : rows) {
-    core::DetectorRunConfig cfg;
-    cfg.n = row.n;
-    cfg.k = row.k;
-    cfg.t = row.t;
-    cfg.crash_count = row.crashes;
-    cfg.crash_step = 20'000;
-    cfg.seed = 7;
-    cfg.max_steps = 3'000'000;
-    const auto result = core::run_detector_convergence(cfg);
+  const std::size_t count = std::size(rows);
+
+  core::WallTimer timer;
+  const auto results = core::parallel_map<core::DetectorRunResult>(
+      count, options.threads, [&](std::size_t idx) {
+        const Row& row = rows[idx];
+        core::DetectorRunConfig cfg;
+        cfg.n = row.n;
+        cfg.k = row.k;
+        cfg.t = row.t;
+        cfg.crash_count = row.crashes;
+        cfg.crash_step = 20'000;
+        cfg.seed = 7;
+        cfg.max_steps = 3'000'000;
+        return core::run_detector_convergence(cfg);
+      });
+  const double wall = timer.seconds();
+
+  TextTable table({"n", "k", "t", "crashes", "stabilized", "property",
+                   "winnerset", "steps", "iterations", "ops/iteration"});
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    const Row& row = rows[idx];
+    const auto& result = results[idx];
     table.row()
         .cell(row.n)
         .cell(row.k)
@@ -56,89 +74,122 @@ void print_convergence_table() {
             << "(enforced witness bound 3 over seeded asynchrony; "
                "crashes at step 20000)\n"
             << table.render() << "\n";
+  json.section("convergence", count, wall);
 }
 
-void print_bound_sensitivity() {
-  using namespace setlib;
+void print_bound_sensitivity(const core::BenchOptions& options,
+                             core::BenchJson& json) {
   // EXP-F2b: the timely set steps only when the enforcer injects it
   // (weight ~0), so the schedule's synchrony quality IS the bound;
   // detector convergence cost grows with it.
+  const std::int64_t bounds[] = {2, 4, 8, 16, 32, 64, 128};
+  const std::size_t count = std::size(bounds);
+
+  core::WallTimer timer;
+  const auto results = core::parallel_map<core::DetectorRunResult>(
+      count, options.threads, [&](std::size_t idx) {
+        core::DetectorRunConfig cfg;
+        cfg.n = 5;
+        cfg.k = 2;
+        cfg.t = 2;
+        cfg.bound = bounds[idx];
+        cfg.timely_weight = 0.001;
+        cfg.seed = 3;
+        cfg.max_steps = 6'000'000;
+        return core::run_detector_convergence(cfg);
+      });
+  const double wall = timer.seconds();
+
   TextTable table({"enforced bound", "stabilized", "steps",
                    "iterations (slowest correct)"});
-  for (const std::int64_t bound : {2, 4, 8, 16, 32, 64, 128}) {
-    core::DetectorRunConfig cfg;
-    cfg.n = 5;
-    cfg.k = 2;
-    cfg.t = 2;
-    cfg.bound = bound;
-    cfg.timely_weight = 0.001;
-    cfg.seed = 3;
-    cfg.max_steps = 6'000'000;
-    const auto result = core::run_detector_convergence(cfg);
+  for (std::size_t idx = 0; idx < count; ++idx) {
     table.row()
-        .cell(bound)
-        .cell(result.stabilized ? "yes" : "NO")
-        .cell(result.steps)
-        .cell(result.max_iterations);
+        .cell(bounds[idx])
+        .cell(results[idx].stabilized ? "yes" : "NO")
+        .cell(results[idx].steps)
+        .cell(results[idx].max_iterations);
   }
   std::cout << "EXP-F2b: detector convergence vs synchrony quality "
                "(n=5, k=2, t=2; witness set scheduled once per `bound` "
                "observer steps)\n"
             << table.render() << "\n";
+  json.section("bound_sensitivity", count, wall);
 }
 
-void print_gst_series() {
-  using namespace setlib;
+void print_gst_series(const core::BenchOptions& options,
+                      core::BenchJson& json) {
   // EXP-F2c: eventual set timeliness. The schedule is a k-subset
   // starver (no k-set timely) until GST, then an enforced witness at
   // bound 3. Reported: steps AFTER GST until the detector stabilizes —
   // the recovery cost is roughly GST-independent (timeouts adapt).
+  const int n = 5, k = 2, t = 2;
+  const std::int64_t gsts[] = {0, 20'000, 100'000, 400'000, 1'000'000};
+  const std::size_t count = std::size(gsts);
+
+  struct GstResult {
+    bool stabilized = false;
+    std::int64_t steps_after_gst = 0;
+    std::int64_t min_iterations = 0;
+  };
+
+  core::WallTimer timer;
+  const auto results = core::parallel_map<GstResult>(
+      count, options.threads, [&](std::size_t idx) {
+        const std::int64_t gst = gsts[idx];
+        shm::SimMemory mem;
+        fd::KAntiOmega detector(mem, fd::KAntiOmega::Params{n, k, t, 1});
+        shm::Simulator sim(mem, n);
+        for (Pid p = 0; p < n; ++p) {
+          sim.process(p).add_task(detector.run(p), "fd");
+        }
+        auto before = std::make_unique<sched::KSubsetStarverGenerator>(
+            n, ProcSet::universe(n), k, 400);
+        auto base = std::make_unique<sched::UniformRandomGenerator>(n, 7);
+        auto after = sched::EnforcedGenerator::single(
+            std::move(base),
+            sched::TimelinessConstraint(ProcSet::range(0, k),
+                                        ProcSet::range(0, t + 1), 3));
+        sched::SwitchGenerator gen(std::move(before), std::move(after),
+                                   gst);
+        const ProcSet all = ProcSet::universe(n);
+        // Only accept stabilization reached after GST: transient quiet
+        // stretches inside the chaos phase can look stable for a small
+        // window.
+        const std::int64_t steps =
+            sim.run_until(gen, gst + 3'000'000, [&] {
+              return sim.steps_taken() > gst &&
+                     detector.stabilized(all, 12);
+            });
+        GstResult out;
+        out.stabilized = detector.stabilized(all, 6);
+        out.steps_after_gst = steps > gst ? steps - gst : 0;
+        std::int64_t min_it = -1;
+        for (Pid p = 0; p < n; ++p) {
+          const auto it = detector.view(p).iterations;
+          min_it = min_it < 0 ? it : std::min(min_it, it);
+        }
+        out.min_iterations = min_it;
+        return out;
+      });
+  const double wall = timer.seconds();
+
   TextTable table({"GST step", "stabilized", "steps after GST",
                    "iterations (slowest)"});
-  const int n = 5, k = 2, t = 2;
-  for (const std::int64_t gst :
-       {std::int64_t{0}, std::int64_t{20'000}, std::int64_t{100'000},
-        std::int64_t{400'000}, std::int64_t{1'000'000}}) {
-    shm::SimMemory mem;
-    fd::KAntiOmega detector(mem, fd::KAntiOmega::Params{n, k, t, 1});
-    shm::Simulator sim(mem, n);
-    for (Pid p = 0; p < n; ++p) {
-      sim.process(p).add_task(detector.run(p), "fd");
-    }
-    auto before = std::make_unique<sched::KSubsetStarverGenerator>(
-        n, ProcSet::universe(n), k, 400);
-    auto base = std::make_unique<sched::UniformRandomGenerator>(n, 7);
-    auto after = sched::EnforcedGenerator::single(
-        std::move(base),
-        sched::TimelinessConstraint(ProcSet::range(0, k),
-                                    ProcSet::range(0, t + 1), 3));
-    sched::SwitchGenerator gen(std::move(before), std::move(after), gst);
-    const ProcSet all = ProcSet::universe(n);
-    // Only accept stabilization reached after GST: transient quiet
-    // stretches inside the chaos phase can look stable for a small
-    // window.
-    const std::int64_t steps = sim.run_until(gen, gst + 3'000'000, [&] {
-      return sim.steps_taken() > gst && detector.stabilized(all, 12);
-    });
-    std::int64_t min_it = -1;
-    for (Pid p = 0; p < n; ++p) {
-      const auto it = detector.view(p).iterations;
-      min_it = min_it < 0 ? it : std::min(min_it, it);
-    }
+  for (std::size_t idx = 0; idx < count; ++idx) {
     table.row()
-        .cell(gst)
-        .cell(detector.stabilized(all, 6) ? "yes" : "NO")
-        .cell(steps > gst ? steps - gst : 0)
-        .cell(min_it);
+        .cell(gsts[idx])
+        .cell(results[idx].stabilized ? "yes" : "NO")
+        .cell(results[idx].steps_after_gst)
+        .cell(results[idx].min_iterations);
   }
   std::cout << "EXP-F2c: recovery after eventual synchrony (GST) — "
                "adversarial k-subset starvation before GST, enforced "
                "witness after (n=5, k=2, t=2)\n"
             << table.render() << "\n";
+  json.section("gst_series", count, wall);
 }
 
 void BM_DetectorSteps(benchmark::State& state) {
-  using namespace setlib;
   const int n = static_cast<int>(state.range(0));
   const int k = static_cast<int>(state.range(1));
   for (auto _ : state) {
@@ -165,9 +216,13 @@ BENCHMARK(BM_DetectorSteps)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_convergence_table();
-  print_bound_sensitivity();
-  print_gst_series();
+  const auto options =
+      core::parse_bench_options(&argc, argv, "fig2_detector");
+  core::BenchJson json(options);
+  print_convergence_table(options, json);
+  print_bound_sensitivity(options, json);
+  print_gst_series(options, json);
+  json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

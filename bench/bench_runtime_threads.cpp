@@ -1,10 +1,16 @@
 // EXP-RT — the threaded runtime: end-to-end (t, k, n)-agreement latency
 // on real std::jthreads under the set-timeliness pacer, vs thread count
 // and pacer bound, plus pacer gate overhead.
+//
+// Each table row spawns its own n jthreads, so the default sweep width
+// is 1; `--threads=N` runs N rows' jthread groups concurrently
+// (oversubscription is safe — the pacer serializes inside a row).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
+#include "src/core/sweep.h"
+#include "src/core/sweep_cli.h"
 #include "src/runtime/pacer.h"
 #include "src/runtime/rt_harness.h"
 #include "src/util/table.h"
@@ -13,22 +19,34 @@ namespace {
 
 using namespace setlib;
 
-void print_rt_table() {
-  TextTable table({"(t,k,n)", "crashes", "success", "distinct",
-                   "pacer steps", "elapsed ms", "witness bound"});
+void print_rt_table(const core::BenchOptions& options,
+                    core::BenchJson& json) {
   struct Row {
     int t, k, n, crashes;
   };
   const Row rows[] = {{1, 1, 3, 0}, {2, 1, 4, 1}, {2, 2, 5, 2},
                       {3, 2, 6, 2}, {3, 3, 6, 3}, {4, 2, 8, 3}};
-  for (const auto& row : rows) {
-    runtime::RtRunConfig cfg;
-    cfg.n = row.n;
-    cfg.k = row.k;
-    cfg.t = row.t;
-    cfg.crash_count = row.crashes;
-    cfg.crash_ops = 2'000;
-    const auto report = runtime::run_kset_threaded(cfg);
+  const std::size_t count = std::size(rows);
+
+  core::WallTimer timer;
+  const auto reports = core::parallel_map<runtime::RtRunReport>(
+      count, options.threads, [&](std::size_t idx) {
+        const Row& row = rows[idx];
+        runtime::RtRunConfig cfg;
+        cfg.n = row.n;
+        cfg.k = row.k;
+        cfg.t = row.t;
+        cfg.crash_count = row.crashes;
+        cfg.crash_ops = 2'000;
+        return runtime::run_kset_threaded(cfg);
+      });
+  const double wall = timer.seconds();
+
+  TextTable table({"(t,k,n)", "crashes", "success", "distinct",
+                   "pacer steps", "elapsed ms", "witness bound"});
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    const Row& row = rows[idx];
+    const auto& report = reports[idx];
     std::string spec("(");
     spec.append(std::to_string(row.t)).append(",");
     spec.append(std::to_string(row.k)).append(",");
@@ -44,6 +62,7 @@ void print_rt_table() {
   }
   std::cout << "EXP-RT: threaded Theorem 24 stack (jthreads + pacer)\n"
             << table.render() << "\n";
+  json.section("rt_table", count, wall);
 }
 
 void BM_ThreadedAgreement(benchmark::State& state) {
@@ -89,7 +108,11 @@ BENCHMARK(BM_PacerGate);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_rt_table();
+  const auto options =
+      core::parse_bench_options(&argc, argv, "runtime_threads");
+  core::BenchJson json(options);
+  print_rt_table(options, json);
+  json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,8 +1,14 @@
 // EXP-SUB1 — substrate microbenchmarks: registers, coroutine step
 // dispatch, subset ranking, schedule generation and analysis, and the
-// threaded register implementation.
+// threaded register implementation. A schedule-analysis sweep section
+// (generator family × length grid) runs through the sweep pool
+// (--threads / --json).
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "src/core/sweep.h"
+#include "src/core/sweep_cli.h"
 #include "src/runtime/rt_memory.h"
 #include "src/sched/analyzer.h"
 #include "src/sched/enforcer.h"
@@ -13,6 +19,7 @@
 #include "src/shm/simulator.h"
 #include "src/shm/snapshot.h"
 #include "src/util/procset.h"
+#include "src/util/table.h"
 
 namespace {
 
@@ -134,6 +141,57 @@ void BM_AnalyzerScan(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzerScan)->Arg(1 << 14)->Arg(1 << 18);
 
+void print_analysis_sweep(const core::BenchOptions& options,
+                          core::BenchJson& json) {
+  // EXP-SUB1b: generate-and-analyze grid — generator family × schedule
+  // length, each cell measuring the min timeliness bound of the first
+  // 2 processes w.r.t. the rest on a fresh seeded schedule.
+  const int n = 8;
+  const std::int64_t lengths[] = {1 << 12, 1 << 14, 1 << 16};
+  constexpr std::size_t kFamilies = 2;  // uniform, round-robin
+  const std::size_t cells = std::size(lengths) * kFamilies;
+
+  core::WallTimer timer;
+  const auto bounds = core::parallel_map<std::int64_t>(
+      cells, options.threads, [&](std::size_t idx) {
+        const std::int64_t len = lengths[idx / kFamilies];
+        const bool uniform = idx % kFamilies == 0;
+        const sched::Schedule schedule = [&] {
+          if (uniform) {
+            sched::UniformRandomGenerator gen(
+                n, core::derive_cell_seed(9, idx));
+            return sched::generate(gen, len);
+          }
+          sched::RoundRobinGenerator gen(n);
+          return sched::generate(gen, len);
+        }();
+        return sched::min_timeliness_bound(
+            schedule, ProcSet::range(0, 2), ProcSet::range(2, n));
+      });
+  const double wall = timer.seconds();
+
+  TextTable table({"generator", "length", "bound {0,1} vs rest"});
+  for (std::size_t idx = 0; idx < cells; ++idx) {
+    table.row()
+        .cell(idx % kFamilies == 0 ? "uniform" : "round-robin")
+        .cell(lengths[idx / kFamilies])
+        .cell(bounds[idx]);
+  }
+  std::cout << "EXP-SUB1b: schedule generate+analyze sweep (n=" << n
+            << ", threads=" << options.threads << ")\n"
+            << table.render() << "\n";
+  json.section("analysis_sweep", cells, wall);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto options =
+      setlib::core::parse_bench_options(&argc, argv, "substrate");
+  setlib::core::BenchJson json(options);
+  print_analysis_sweep(options, json);
+  json.write_if_requested();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

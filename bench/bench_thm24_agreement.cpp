@@ -3,23 +3,26 @@
 //
 // Tables: outcome + decision latency (steps) across (n, k, t) and crash
 // patterns under the friendly family, a latency-vs-timeliness-bound
-// series, and the trivial k > t regime. Microbenchmarks time whole
-// engine runs.
+// series, and a spec × family × seed SweepGrid aggregated into the
+// success-rate matrix. All grids run through core::ParallelSweep
+// (--threads / --repeat / --json). Microbenchmarks time whole engine
+// runs.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "src/core/engine.h"
 #include "src/core/solvability.h"
+#include "src/core/sweep.h"
+#include "src/core/sweep_cli.h"
 #include "src/util/table.h"
 
 namespace {
 
 using namespace setlib;
 
-void print_agreement_table() {
-  TextTable table({"(t,k,n)", "system", "crashes", "success", "distinct",
-                   "steps to all-decided", "witness bound"});
+void print_agreement_table(const core::BenchOptions& options,
+                           core::BenchJson& json) {
   struct Row {
     int t, k, n, crashes;
   };
@@ -27,23 +30,39 @@ void print_agreement_table() {
                       {2, 2, 4, 1}, {2, 2, 5, 2}, {3, 2, 5, 3},
                       {3, 1, 5, 1}, {3, 3, 6, 3}, {4, 2, 6, 4},
                       {4, 2, 7, 2}, {2, 3, 5, 2}, {1, 2, 4, 1}};
-  for (const auto& row : rows) {
-    core::RunConfig cfg;
-    cfg.spec = {row.t, row.k, row.n};
-    cfg.system = core::matching_system(cfg.spec);
-    cfg.seed = 17;
-    cfg.max_steps = 4'000'000;
-    if (row.crashes > 0) {
-      auto plan = sched::CrashPlan::none(row.n);
-      for (int c = 0; c < row.crashes; ++c) {
-        plan.set_crash(row.n - 1 - c, 5'000 * (c + 1));
-      }
-      cfg.crashes = plan;
-    }
-    const auto report = core::run_agreement(cfg);
+  const std::size_t count = std::size(rows);
+
+  core::WallTimer timer;
+  const auto reports = core::parallel_map<core::RunReport>(
+      count, options.threads, [&](std::size_t idx) {
+        const Row& row = rows[idx];
+        core::RunConfig cfg;
+        cfg.spec = {row.t, row.k, row.n};
+        cfg.system = core::matching_system(cfg.spec);
+        cfg.seed = 17;
+        cfg.max_steps = 4'000'000;
+        if (row.crashes > 0) {
+          auto plan = sched::CrashPlan::none(row.n);
+          for (int c = 0; c < row.crashes; ++c) {
+            plan.set_crash(row.n - 1 - c, 5'000 * (c + 1));
+          }
+          cfg.crashes = plan;
+        }
+        return core::run_agreement(cfg);
+      });
+  const double wall = timer.seconds();
+
+  TextTable table({"(t,k,n)", "system", "crashes", "success", "distinct",
+                   "steps to all-decided", "witness bound"});
+  std::size_t successes = 0;
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    const Row& row = rows[idx];
+    const core::RunReport& report = reports[idx];
+    const core::AgreementSpec spec{row.t, row.k, row.n};
+    if (report.success) ++successes;
     table.row()
-        .cell(cfg.spec.to_string())
-        .cell(cfg.system.to_string())
+        .cell(spec.to_string())
+        .cell(core::matching_system(spec).to_string())
         .cell(row.crashes)
         .cell(report.success ? "yes" : "NO")
         .cell(report.distinct_decisions)
@@ -53,25 +72,66 @@ void print_agreement_table() {
   std::cout << "EXP-T24: (t,k,n)-agreement in the matching system "
                "S^k_{t+1,n} (friendly family)\n"
             << table.render() << "\n";
+  json.section("agreement_table", count, wall,
+               {{"successes", static_cast<double>(successes)}});
 }
 
-void print_bound_series() {
+void print_bound_series(const core::BenchOptions& options,
+                        core::BenchJson& json) {
+  const std::int64_t bounds[] = {2, 3, 4, 8, 16, 32, 64};
+  const std::size_t count = std::size(bounds);
+
+  core::WallTimer timer;
+  const auto reports = core::parallel_map<core::RunReport>(
+      count, options.threads, [&](std::size_t idx) {
+        core::RunConfig cfg;
+        cfg.spec = {2, 2, 5};
+        cfg.system = core::matching_system(cfg.spec);
+        cfg.timeliness_bound = bounds[idx];
+        cfg.seed = 23;
+        return core::run_agreement(cfg);
+      });
+  const double wall = timer.seconds();
+
   TextTable table({"enforced bound", "steps to all-decided", "success"});
-  for (const std::int64_t bound : {2, 3, 4, 8, 16, 32, 64}) {
-    core::RunConfig cfg;
-    cfg.spec = {2, 2, 5};
-    cfg.system = core::matching_system(cfg.spec);
-    cfg.timeliness_bound = bound;
-    cfg.seed = 23;
-    const auto report = core::run_agreement(cfg);
+  for (std::size_t idx = 0; idx < count; ++idx) {
     table.row()
-        .cell(bound)
-        .cell(report.steps_executed)
-        .cell(report.success ? "yes" : "NO");
+        .cell(bounds[idx])
+        .cell(reports[idx].steps_executed)
+        .cell(reports[idx].success ? "yes" : "NO");
   }
   std::cout << "EXP-T24b: decision latency vs enforced timeliness bound "
                "((2,2,5)-agreement in S^2_{3,5})\n"
             << table.render() << "\n";
+  json.section("bound_series", count, wall);
+}
+
+void print_seed_sweep(const core::BenchOptions& options,
+                      core::BenchJson& json) {
+  // EXP-T24c: the SweepGrid proper — specs × family × `--repeat` seeds
+  // in the matching system, folded into the success-rate matrix.
+  core::SweepGrid grid;
+  grid.add_spec({1, 1, 3})
+      .add_spec({2, 2, 5})
+      .add_spec({3, 2, 5})
+      .add_family(core::ScheduleFamily::kEnforcedRandom)
+      .repeats(options.repeat)
+      .base_seed(17);
+  core::RunConfig proto;
+  proto.max_steps = 2'000'000;
+  grid.prototype(proto);
+
+  const core::SweepResult result =
+      core::ParallelSweep({options.threads}).run(grid);
+  std::cout << "EXP-T24c: friendly-family seed sweep (repeat="
+            << options.repeat << ", threads=" << options.threads << ", "
+            << result.aggregate.cells << " cells, "
+            << result.aggregate.runs_per_second << " runs/sec)\n"
+            << result.render_success_matrix() << "\n";
+  json.section(
+      "seed_sweep", result.aggregate.cells, result.aggregate.wall_seconds,
+      {{"successes", static_cast<double>(result.aggregate.successes)},
+       {"mean_steps", result.aggregate.steps.mean()}});
 }
 
 void BM_AgreementRun(benchmark::State& state) {
@@ -113,8 +173,13 @@ BENCHMARK(BM_TrivialRegime)->Arg(4)->Arg(8)->Arg(16)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_agreement_table();
-  print_bound_series();
+  const auto options =
+      core::parse_bench_options(&argc, argv, "thm24_agreement");
+  core::BenchJson json(options);
+  print_agreement_table(options, json);
+  print_bound_series(options, json);
+  print_seed_sweep(options, json);
+  json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -11,15 +11,20 @@
 //        while no k-set stays timely (measured bounds).
 // Plus the direct evidence: the k-subset starver (a schedule of
 // S^{k+1}_{n,n}) defeats the Figure 2 detector's k-anti-Omega property.
+// Each series' rows are independent runs sharded across the sweep pool
+// (--threads).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <limits>
 #include <memory>
 
 #include "src/bg/bg_sim.h"
 #include "src/bg/threads.h"
 #include "src/core/engine.h"
 #include "src/core/solvability.h"
+#include "src/core/sweep.h"
+#include "src/core/sweep_cli.h"
 #include "src/sched/analyzer.h"
 #include "src/sched/generators.h"
 #include "src/shm/memory.h"
@@ -30,107 +35,162 @@ namespace {
 
 using namespace setlib;
 
-void print_part1_possibility() {
-  TextTable table({"(k,k,n)", "system", "success", "distinct", "steps"});
+void print_part1_possibility(const core::BenchOptions& options,
+                             core::BenchJson& json) {
   struct Row {
     int k, n;
   };
-  for (const Row row : {Row{1, 4}, Row{2, 5}, Row{3, 6}}) {
-    core::RunConfig cfg;
-    cfg.spec = {row.k, row.k, row.n};
-    cfg.system = {row.k, row.n, row.n};  // S^k_{n,n}
-    cfg.seed = 11;
-    const auto report = core::run_agreement(cfg);
+  const Row rows[] = {{1, 4}, {2, 5}, {3, 6}};
+  const std::size_t count = std::size(rows);
+
+  core::WallTimer timer;
+  const auto reports = core::parallel_map<core::RunReport>(
+      count, options.threads, [&](std::size_t idx) {
+        const Row& row = rows[idx];
+        core::RunConfig cfg;
+        cfg.spec = {row.k, row.k, row.n};
+        cfg.system = {row.k, row.n, row.n};  // S^k_{n,n}
+        cfg.seed = 11;
+        return core::run_agreement(cfg);
+      });
+  const double wall = timer.seconds();
+
+  TextTable table({"(k,k,n)", "system", "success", "distinct", "steps"});
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    const Row& row = rows[idx];
+    const core::AgreementSpec spec{row.k, row.k, row.n};
+    const core::SystemSpec system{row.k, row.n, row.n};
     table.row()
-        .cell(cfg.spec.to_string())
-        .cell(cfg.system.to_string())
-        .cell(report.success ? "yes" : "NO")
-        .cell(report.distinct_decisions)
-        .cell(report.steps_executed);
+        .cell(spec.to_string())
+        .cell(system.to_string())
+        .cell(reports[idx].success ? "yes" : "NO")
+        .cell(reports[idx].distinct_decisions)
+        .cell(reports[idx].steps_executed);
   }
   std::cout << "EXP-T26 part 1: (k,k,n)-agreement solvable in S^k_{n,n}\n"
             << table.render() << "\n";
+  json.section("possibility", count, wall);
 }
 
-void print_bg_properties() {
-  TextTable table({"m (simulators)", "n (threads)", "crashed sims",
-                   "blocked threads", "sim schedule steps",
-                   "max bound (k+1)-sets vs all", "min bound k-sets vs all"});
+void print_bg_properties(const core::BenchOptions& options,
+                         core::BenchJson& json) {
   struct Row {
     int m, n;
     bool crash;
   };
-  for (const Row row : {Row{2, 4, false}, Row{3, 5, false}, Row{3, 5, true},
-                        Row{4, 6, true}}) {
-    shm::SimMemory mem;
-    bg::BGSimulation sim_obj(
-        mem, bg::BGSimulation::Params{row.m, row.n, 48},
-        [](int u) { return std::make_unique<bg::ForeverThread>(u); });
-    shm::Simulator sim(mem, row.m);
-    for (Pid i = 0; i < row.m; ++i) {
-      sim.process(i).add_task(sim_obj.run(i), "bg");
-    }
-    if (row.crash) {
-      sim.use_crash_plan(
-          sched::CrashPlan::at(row.m, ProcSet::of(row.m - 1), 57));
-    }
-    sched::RoundRobinGenerator gen(row.m);
-    sim.run(gen, 2'000'000);
+  const Row rows[] = {{2, 4, false}, {3, 5, false}, {3, 5, true},
+                      {4, 6, true}};
+  const std::size_t count = std::size(rows);
 
-    const sched::Schedule& simulated = sim_obj.simulated_schedule();
-    const int k = row.m - 1;
+  struct BgFacts {
+    std::size_t blocked = 0;
+    std::int64_t schedule_steps = 0;
     std::int64_t worst_kp1 = 0;
-    for (const ProcSet s : k_subsets(row.n, k + 1)) {
-      worst_kp1 = std::max(
-          worst_kp1, sched::min_timeliness_bound(simulated, s,
-                                                 ProcSet::universe(row.n)));
-    }
-    std::int64_t best_k = std::numeric_limits<std::int64_t>::max();
-    for (const ProcSet s : k_subsets(row.n, k)) {
-      best_k = std::min(
-          best_k, sched::min_timeliness_bound(simulated, s,
-                                              ProcSet::universe(row.n)));
-    }
+    std::int64_t best_k = 0;
+  };
+
+  core::WallTimer timer;
+  const auto facts = core::parallel_map<BgFacts>(
+      count, options.threads, [&](std::size_t idx) {
+        const Row& row = rows[idx];
+        shm::SimMemory mem;
+        bg::BGSimulation sim_obj(
+            mem, bg::BGSimulation::Params{row.m, row.n, 48},
+            [](int u) { return std::make_unique<bg::ForeverThread>(u); });
+        shm::Simulator sim(mem, row.m);
+        for (Pid i = 0; i < row.m; ++i) {
+          sim.process(i).add_task(sim_obj.run(i), "bg");
+        }
+        if (row.crash) {
+          sim.use_crash_plan(
+              sched::CrashPlan::at(row.m, ProcSet::of(row.m - 1), 57));
+        }
+        sched::RoundRobinGenerator gen(row.m);
+        sim.run(gen, 2'000'000);
+
+        const sched::Schedule& simulated = sim_obj.simulated_schedule();
+        const int k = row.m - 1;
+        BgFacts out;
+        out.blocked = sim_obj.blocked_threads().size();
+        out.schedule_steps = simulated.size();
+        for (const ProcSet s : k_subsets(row.n, k + 1)) {
+          out.worst_kp1 = std::max(
+              out.worst_kp1,
+              sched::min_timeliness_bound(simulated, s,
+                                          ProcSet::universe(row.n)));
+        }
+        out.best_k = std::numeric_limits<std::int64_t>::max();
+        for (const ProcSet s : k_subsets(row.n, k)) {
+          out.best_k = std::min(
+              out.best_k,
+              sched::min_timeliness_bound(simulated, s,
+                                          ProcSet::universe(row.n)));
+        }
+        return out;
+      });
+  const double wall = timer.seconds();
+
+  TextTable table({"m (simulators)", "n (threads)", "crashed sims",
+                   "blocked threads", "sim schedule steps",
+                   "max bound (k+1)-sets vs all",
+                   "min bound k-sets vs all"});
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    const Row& row = rows[idx];
     table.row()
         .cell(row.m)
         .cell(row.n)
         .cell(row.crash ? 1 : 0)
-        .cell(sim_obj.blocked_threads().size())
-        .cell(simulated.size())
-        .cell(worst_kp1)
-        .cell(best_k);
+        .cell(facts[idx].blocked)
+        .cell(facts[idx].schedule_steps)
+        .cell(facts[idx].worst_kp1)
+        .cell(facts[idx].best_k);
   }
   std::cout
       << "EXP-T26 part 2a: BG simulation schedule-mapping properties\n"
       << "(property (i): blocked <= crashed sims; property (ii): every\n"
       << " (k+1)-set bound small = simulated schedule in S^{k+1}_{n,n})\n"
       << table.render() << "\n";
+  json.section("bg_properties", count, wall);
 }
 
-void print_detector_defeat() {
-  TextTable table({"(k,k,n) detector", "family", "abstract property",
-                   "winnerset changes"});
+void print_detector_defeat(const core::BenchOptions& options,
+                           core::BenchJson& json) {
   struct Row {
     int k, n;
   };
-  for (const Row row : {Row{1, 4}, Row{2, 5}, Row{3, 6}}) {
-    core::RunConfig cfg;
-    cfg.spec = {row.k, row.k, row.n};
-    cfg.system = {row.k + 1, row.n, row.n};
-    cfg.family = core::ScheduleFamily::kKSubsetStarver;
-    cfg.run_full_budget = true;
-    cfg.max_steps = 1'200'000;
-    const auto report = core::run_agreement(cfg);
+  const Row rows[] = {{1, 4}, {2, 5}, {3, 6}};
+  const std::size_t count = std::size(rows);
+
+  core::WallTimer timer;
+  const auto reports = core::parallel_map<core::RunReport>(
+      count, options.threads, [&](std::size_t idx) {
+        const Row& row = rows[idx];
+        core::RunConfig cfg;
+        cfg.spec = {row.k, row.k, row.n};
+        cfg.system = {row.k + 1, row.n, row.n};
+        cfg.family = core::ScheduleFamily::kKSubsetStarver;
+        cfg.run_full_budget = true;
+        cfg.max_steps = 1'200'000;
+        return core::run_agreement(cfg);
+      });
+  const double wall = timer.seconds();
+
+  TextTable table({"(k,k,n) detector", "family", "abstract property",
+                   "winnerset changes"});
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    const Row& row = rows[idx];
+    const core::AgreementSpec spec{row.k, row.k, row.n};
     table.row()
-        .cell(cfg.spec.to_string())
+        .cell(spec.to_string())
         .cell("k-subset starver in S^{k+1}_{n,n}")
-        .cell(report.detector.abstract_ok ? "HOLDS (unexpected)"
-                                          : "defeated")
-        .cell(report.detector.total_winnerset_changes);
+        .cell(reports[idx].detector.abstract_ok ? "HOLDS (unexpected)"
+                                                : "defeated")
+        .cell(reports[idx].detector.total_winnerset_changes);
   }
   std::cout << "EXP-T26 part 2b: a S^{k+1}_{n,n} schedule defeats the "
                "k-anti-Omega detector\n"
             << table.render() << "\n";
+  json.section("detector_defeat", count, wall);
 }
 
 void BM_BGSimulationThroughput(benchmark::State& state) {
@@ -162,9 +222,13 @@ BENCHMARK(BM_BGSimulationThroughput)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_part1_possibility();
-  print_bg_properties();
-  print_detector_defeat();
+  const auto options =
+      core::parse_bench_options(&argc, argv, "thm26_separation");
+  core::BenchJson json(options);
+  print_part1_possibility(options, json);
+  print_bg_properties(options, json);
+  print_detector_defeat(options, json);
+  json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,17 +5,24 @@
 // observable frontier — does the Figure 2 algorithm still implement
 // t-resilient k-anti-Omega? — is compared against the Theorem 27
 // predicate: solvable iff i <= k and j - i >= t + 1 - k.
+//
+// The (i, j) cells of every matrix run through core::ParallelSweep;
+// `--threads=N` shards them across the work-stealing pool with
+// bit-identical cell results at any N, and `--json` records the
+// cells/wall/throughput trajectory in BENCH_thm27_matrix.json.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "src/core/experiments.h"
+#include "src/core/sweep_cli.h"
 
 namespace {
 
 using namespace setlib;
 
-void print_matrices() {
+void print_matrices(const core::BenchOptions& options,
+                    core::BenchJson& json) {
   struct Spec {
     int t, k, n;
   };
@@ -27,15 +34,25 @@ void print_matrices() {
     core::MatrixConfig cfg;
     cfg.spec = {spec.t, spec.k, spec.n};
     cfg.max_steps = 900'000;
+    cfg.threads = options.threads;
+    core::WallTimer timer;
     const auto matrix = core::thm27_matrix(cfg);
+    const double wall = timer.seconds();
     std::cout << core::render_matrix(cfg.spec, matrix) << "\n";
+    int spec_mismatches = 0;
     for (const auto& cell : matrix) {
       ++cells;
-      if (!cell.matches) ++mismatches;
+      if (!cell.matches) {
+        ++mismatches;
+        ++spec_mismatches;
+      }
     }
+    json.section("matrix_" + cfg.spec.to_string(), matrix.size(), wall,
+                 {{"mismatches", static_cast<double>(spec_mismatches)}});
   }
   std::cout << "EXP-T27 summary: " << cells - mismatches << "/" << cells
-            << " cells match the Theorem 27 frontier\n\n";
+            << " cells match the Theorem 27 frontier (threads="
+            << options.threads << ")\n\n";
 }
 
 void BM_MatrixCellSolvable(benchmark::State& state) {
@@ -67,7 +84,11 @@ BENCHMARK(BM_MatrixCellUnsolvable)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_matrices();
+  const auto options =
+      core::parse_bench_options(&argc, argv, "thm27_matrix");
+  core::BenchJson json(options);
+  print_matrices(options, json);
+  json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

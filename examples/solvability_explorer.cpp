@@ -6,11 +6,14 @@
 //   solvability_explorer t k n            — matrix for one spec
 //   solvability_explorer t k n i j        — one query, with the
 //                                           matching-system hint
+// `--threads=N` (stripped before the positional args) shards the
+// empirical matrix cells across the sweep pool.
 #include <cstdlib>
 #include <iostream>
 
 #include "src/core/experiments.h"
 #include "src/core/solvability.h"
+#include "src/core/sweep_cli.h"
 #include "src/util/table.h"
 
 namespace {
@@ -42,6 +45,9 @@ void print_predicate_matrix(const core::AgreementSpec& spec) {
 int main(int argc, char** argv) {
   using namespace setlib;
 
+  const auto options =
+      core::parse_bench_options(&argc, argv, "solvability_explorer");
+
   if (argc == 6) {
     const core::AgreementSpec spec{std::atoi(argv[1]), std::atoi(argv[2]),
                                    std::atoi(argv[3])};
@@ -66,6 +72,7 @@ int main(int argc, char** argv) {
       core::MatrixConfig cfg;
       cfg.spec = spec;
       cfg.max_steps = 900'000;
+      cfg.threads = options.threads;
       std::cout << core::render_matrix(spec, core::thm27_matrix(cfg));
     }
     return 0;

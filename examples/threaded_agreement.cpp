@@ -4,12 +4,22 @@
 // k Paxos instances; the pacer enforces that the first k processes stay
 // timely w.r.t. the first t+1 (a live S^k_{t+1,n} system); two
 // processes are crash-injected mid-run.
+//
+// `--repeat=N` runs N independent instances of the whole stack and
+// aggregates; `--threads=M` shards the instances across the sweep pool
+// (each instance spawns its own 6 jthreads, so keep M small).
 #include <iostream>
 
+#include "src/core/sweep.h"
+#include "src/core/sweep_cli.h"
 #include "src/runtime/rt_harness.h"
+#include "src/util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setlib;
+
+  const auto options =
+      core::parse_bench_options(&argc, argv, "threaded_agreement");
 
   runtime::RtRunConfig cfg;
   cfg.n = 6;
@@ -21,9 +31,17 @@ int main() {
 
   std::cout << "Threaded (t=3, k=2, n=6)-agreement in S^2_{4,6}: 6 "
                "jthreads,\npacer bound 6, processes 4 and 5 crash after "
-               "4000 ops each.\n\n";
-  const auto report = runtime::run_kset_threaded(cfg);
+               "4000 ops each.\n";
+  std::cout << "Instances: " << options.repeat
+            << " (sweep threads: " << options.threads << ")\n\n";
 
+  const std::size_t instances =
+      static_cast<std::size_t>(options.repeat);
+  const auto reports = core::parallel_map<runtime::RtRunReport>(
+      instances, options.threads,
+      [&cfg](std::size_t) { return runtime::run_kset_threaded(cfg); });
+
+  const auto& report = reports.front();
   std::cout << "all done:        " << (report.all_done ? "yes" : "no")
             << "\n";
   std::cout << "faulty:          " << report.faulty << "\n";
@@ -45,6 +63,20 @@ int main() {
             << ", abstract property "
             << (report.detector_abstract_ok ? "holds" : "n/a") << "\n";
   std::cout << "verdict:         " << report.detail << "\n";
-  std::cout << (report.success ? "SUCCESS" : "FAILURE") << "\n";
-  return report.success ? 0 : 1;
+
+  std::size_t successes = 0;
+  Summary elapsed_ms;
+  for (const auto& r : reports) {
+    if (r.success) ++successes;
+    elapsed_ms.add(static_cast<double>(r.elapsed.count()));
+  }
+  if (reports.size() > 1) {
+    std::cout << "aggregate:       " << successes << "/" << reports.size()
+              << " instances succeeded, mean elapsed "
+              << elapsed_ms.mean() << " ms, p90 "
+              << elapsed_ms.percentile(90.0) << " ms\n";
+  }
+  const bool all_success = successes == reports.size();
+  std::cout << (all_success ? "SUCCESS" : "FAILURE") << "\n";
+  return all_success ? 0 : 1;
 }

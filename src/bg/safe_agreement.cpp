@@ -95,7 +95,7 @@ shm::Prog SafeAgreement::try_resolve(Pid i, Outcome* out, bool* blocked) {
   return try_resolve_impl(i, out, blocked);
 }
 
-shm::Prog SafeAgreement::try_resolve_impl(Pid i, Outcome* out,
+shm::Prog SafeAgreement::try_resolve_impl(Pid /*i*/, Outcome* out,
                                           bool* blocked) {
   *blocked = false;
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/core/solvability.h"
+#include "src/core/sweep.h"
 #include "src/fd/kantiomega.h"
 #include "src/fd/property.h"
 #include "src/sched/analyzer.h"
@@ -16,7 +17,8 @@
 
 namespace setlib::core {
 
-std::vector<Figure1Row> figure1_rows(std::int64_t max_phase) {
+std::vector<Figure1Row> figure1_rows(std::int64_t max_phase,
+                                     int threads) {
   SETLIB_EXPECTS(max_phase >= 1);
   const int n = 3;
   const Pid p1 = 0, p2 = 1, q = 2;
@@ -25,22 +27,24 @@ std::vector<Figure1Row> figure1_rows(std::int64_t max_phase) {
       sched::Figure1Generator::steps_through_phase(max_phase);
   const sched::Schedule s = sched::generate(gen, total);
 
-  std::vector<Figure1Row> rows;
-  for (std::int64_t phase = 1; phase <= max_phase; ++phase) {
-    const std::int64_t cut =
-        sched::Figure1Generator::steps_through_phase(phase);
-    Figure1Row row;
-    row.phase = phase;
-    row.prefix_len = cut;
-    row.bound_p1 = sched::min_timeliness_bound(s, ProcSet::of(p1),
-                                               ProcSet::of(q), 0, cut);
-    row.bound_p2 = sched::min_timeliness_bound(s, ProcSet::of(p2),
-                                               ProcSet::of(q), 0, cut);
-    row.bound_union = sched::min_timeliness_bound(
-        s, ProcSet::of({p1, p2}), ProcSet::of(q), 0, cut);
-    rows.push_back(row);
-  }
-  return rows;
+  // The per-prefix bound scans are independent (the schedule is shared
+  // read-only), so the phases shard across the sweep pool.
+  return parallel_map<Figure1Row>(
+      static_cast<std::size_t>(max_phase), threads, [&](std::size_t i) {
+        const std::int64_t phase = static_cast<std::int64_t>(i) + 1;
+        const std::int64_t cut =
+            sched::Figure1Generator::steps_through_phase(phase);
+        Figure1Row row;
+        row.phase = phase;
+        row.prefix_len = cut;
+        row.bound_p1 = sched::min_timeliness_bound(
+            s, ProcSet::of(p1), ProcSet::of(q), 0, cut);
+        row.bound_p2 = sched::min_timeliness_bound(
+            s, ProcSet::of(p2), ProcSet::of(q), 0, cut);
+        row.bound_union = sched::min_timeliness_bound(
+            s, ProcSet::of({p1, p2}), ProcSet::of(q), 0, cut);
+        return row;
+      });
 }
 
 DetectorRunResult run_detector_convergence(const DetectorRunConfig& cfg) {
@@ -116,48 +120,58 @@ DetectorRunResult run_detector_convergence(const DetectorRunConfig& cfg) {
 std::vector<MatrixCell> thm27_matrix(const MatrixConfig& cfg) {
   cfg.spec.validate();
   SETLIB_EXPECTS(cfg.spec.k <= cfg.spec.t);  // the Theorem 27 regime
+
+  RunConfig proto;
+  proto.spec = cfg.spec;
+  proto.max_steps = cfg.max_steps;
+  proto.rotisserie_growth = cfg.rotisserie_growth;
+  proto.timeliness_bound = cfg.friendly_bound;
+  proto.stabilization_window = cfg.stabilization_window;
+  proto.run_full_budget = true;
+
+  SweepGrid grid;
+  grid.add_spec(cfg.spec)
+      .system_axis(SystemAxis::kFullMatrix)
+      .prototype(proto)
+      .per_cell([&cfg](SweepCell& cell) {
+        // The matrix keeps one seed across cells (the classic EXP-T27
+        // semantics); the adversarial family is a function of where
+        // (i, j) sits relative to the Theorem 27 frontier.
+        cell.config.seed = cfg.seed;
+        const int i = cell.config.system.i;
+        const int j = cell.config.system.j;
+        if (i > cfg.spec.k) {
+          cell.config.family = ScheduleFamily::kKSubsetStarver;
+        } else if (j - i <= cfg.spec.t) {
+          cell.config.family = ScheduleFamily::kRotisserie;
+        } else {
+          cell.config.family = ScheduleFamily::kEnforcedRandom;
+        }
+      });
+
+  const SweepResult swept = ParallelSweep({cfg.threads}).run(grid);
+
   std::vector<MatrixCell> cells;
-  for (int i = 1; i <= cfg.spec.n; ++i) {
-    for (int j = i; j <= cfg.spec.n; ++j) {
-      RunConfig rc;
-      rc.spec = cfg.spec;
-      rc.system = SystemSpec{i, j, cfg.spec.n};
-      rc.seed = cfg.seed;
-      rc.max_steps = cfg.max_steps;
-      rc.rotisserie_growth = cfg.rotisserie_growth;
-      rc.timeliness_bound = cfg.friendly_bound;
-      rc.stabilization_window = cfg.stabilization_window;
-      rc.run_full_budget = true;
-
-      MatrixCell cell;
-      cell.i = i;
-      cell.j = j;
-      cell.predicted_solvable =
-          solvable(cfg.spec, SystemSpec{i, j, cfg.spec.n});
-      if (i > cfg.spec.k) {
-        rc.family = ScheduleFamily::kKSubsetStarver;
-        cell.family = "k-subset starver";
-      } else if (j - i <= cfg.spec.t) {
-        rc.family = ScheduleFamily::kRotisserie;
-        cell.family = "rotisserie";
-      } else {
-        rc.family = ScheduleFamily::kEnforcedRandom;
-        cell.family = "friendly";
-      }
-
-      const RunReport report = run_agreement(rc);
-      cell.detector_property = report.detector.abstract_ok;
-      cell.solver_success = report.success;
-      // Frontier check: on solvable cells the detector property and
-      // the solver must both come through; on unsolvable cells the
-      // adversary must defeat the detector property (a lucky solver
-      // decision on an oblivious schedule is possible and allowed).
-      cell.matches = cell.predicted_solvable
-                         ? (cell.detector_property && cell.solver_success)
-                         : !cell.detector_property;
-      cell.detail = report.detail;
-      cells.push_back(cell);
-    }
+  cells.reserve(swept.cells.size());
+  for (std::size_t idx = 0; idx < swept.cells.size(); ++idx) {
+    const RunConfig& rc = swept.cells[idx].config;
+    const RunReport& report = swept.reports[idx];
+    MatrixCell cell;
+    cell.i = rc.system.i;
+    cell.j = rc.system.j;
+    cell.predicted_solvable = solvable(cfg.spec, rc.system);
+    cell.family = family_name(rc.family);
+    cell.detector_property = report.detector.abstract_ok;
+    cell.solver_success = report.success;
+    // Frontier check: on solvable cells the detector property and
+    // the solver must both come through; on unsolvable cells the
+    // adversary must defeat the detector property (a lucky solver
+    // decision on an oblivious schedule is possible and allowed).
+    cell.matches = cell.predicted_solvable
+                       ? (cell.detector_property && cell.solver_success)
+                       : !cell.detector_property;
+    cell.detail = report.detail;
+    cells.push_back(cell);
   }
   return cells;
 }

@@ -26,7 +26,10 @@ struct Figure1Row {
   std::int64_t bound_union = 0;
 };
 
-std::vector<Figure1Row> figure1_rows(std::int64_t max_phase);
+/// Rows for phases 1..max_phase; the per-prefix bound scans shard
+/// across `threads` workers (results are thread-count independent).
+std::vector<Figure1Row> figure1_rows(std::int64_t max_phase,
+                                     int threads = 1);
 
 // ---------------------------------------------------------------------
 // EXP-F2: Figure 2 detector convergence under the friendly family.
@@ -93,6 +96,9 @@ struct MatrixConfig {
   std::int64_t rotisserie_growth = 512;
   std::int64_t friendly_bound = 3;
   std::int64_t stabilization_window = 4;
+  /// Sweep parallelism for the (i, j) cells (0 = hardware
+  /// concurrency). Cell results are identical at any thread count.
+  int threads = 1;
 };
 
 std::vector<MatrixCell> thm27_matrix(const MatrixConfig& cfg);

@@ -1,0 +1,164 @@
+// Parallel sweep engine for experiment grids.
+//
+// SweepGrid enumerates the cartesian product of the experiment axes —
+// agreement specs, a system axis, schedule families, timeliness bounds,
+// and repeat indices — as a flat, indexable cell space. ParallelSweep
+// shards that space across a runtime::WorkStealingPool and folds the
+// per-cell RunReports into streaming statistics (util/stats) and
+// success-rate matrices (util/table).
+//
+// Determinism contract: a cell's RunConfig — including its seed, which
+// is derived from (base seed, flat cell index) through splitmix64 — is
+// a pure function of the grid, never of the worker that happens to run
+// it. Reports land in a slot per cell and aggregation walks them in
+// cell order after the parallel phase, so aggregated results are
+// bit-identical at any thread count (only wall-time fields differ).
+#ifndef SETLIB_CORE_SWEEP_H
+#define SETLIB_CORE_SWEEP_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/spec.h"
+#include "src/util/stats.h"
+
+namespace setlib::core {
+
+/// Deterministic per-cell seed derivation (splitmix64 over the base
+/// seed advanced by the flat cell index).
+std::uint64_t derive_cell_seed(std::uint64_t base_seed,
+                               std::uint64_t cell_index) noexcept;
+
+/// Short display name of a schedule family ("friendly", "rotisserie",
+/// "k-subset starver").
+const char* family_name(ScheduleFamily family) noexcept;
+
+/// How the grid derives the system S^i_{j,n} for each spec.
+enum class SystemAxis {
+  /// Theorem 24's matching system S^k_{t+1,n} — one system per spec.
+  kMatching,
+  /// Every 1 <= i <= j <= n — the Theorem 27 matrix sweep.
+  kFullMatrix,
+  /// The systems(...) list, crossed with every spec.
+  kExplicit,
+};
+
+/// One materialized grid cell: a ready-to-run RunConfig plus its
+/// coordinates in the grid.
+struct SweepCell {
+  std::size_t index = 0;  // flat index in grid order
+  int repeat = 0;         // innermost axis coordinate
+  RunConfig config;       // seed already derived from (base_seed, index)
+};
+
+/// Cartesian product over the experiment axes. Axes left empty fall
+/// back to singletons taken from the prototype RunConfig; a grid with
+/// no specs is the legal empty grid (size() == 0).
+class SweepGrid {
+ public:
+  SweepGrid& add_spec(const AgreementSpec& spec);
+  SweepGrid& add_family(ScheduleFamily family);
+  SweepGrid& add_bound(std::int64_t timeliness_bound);
+  /// Adds an explicit system and switches the axis to kExplicit.
+  SweepGrid& add_system(const SystemSpec& system);
+  SweepGrid& system_axis(SystemAxis axis);
+  /// Number of seeds per point; cell seeds stay index-derived.
+  SweepGrid& repeats(int repeats);
+  SweepGrid& base_seed(std::uint64_t seed);
+  /// Template for every cell's RunConfig (max_steps, windows, ...).
+  SweepGrid& prototype(const RunConfig& config);
+  /// Last-mile hook applied to each materialized cell — the escape
+  /// hatch for per-cell policy (e.g. the Theorem 27 family choice as a
+  /// function of (i, j)). Must be a pure function of the cell.
+  SweepGrid& per_cell(std::function<void(SweepCell&)> hook);
+
+  std::size_t size() const;
+  /// Materializes the cell at `index` (grid order: spec/system point,
+  /// then family, then bound, then repeat innermost).
+  SweepCell cell(std::size_t index) const;
+  std::vector<SweepCell> cells() const;
+
+ private:
+  struct Point {
+    AgreementSpec spec;
+    SystemSpec system;
+  };
+  std::vector<Point> points() const;
+  SweepCell cell_at(std::size_t index,
+                    const std::vector<Point>& pts) const;
+
+  std::vector<AgreementSpec> specs_;
+  std::vector<SystemSpec> systems_;
+  std::vector<ScheduleFamily> families_;
+  std::vector<std::int64_t> bounds_;
+  SystemAxis axis_ = SystemAxis::kMatching;
+  int repeats_ = 1;
+  std::uint64_t base_seed_ = 1;
+  RunConfig prototype_;
+  std::function<void(SweepCell&)> per_cell_;
+};
+
+struct SweepOptions {
+  /// Worker threads for the sweep; 0 = hardware concurrency.
+  int threads = 1;
+};
+
+/// Order-deterministic fold of the per-cell reports.
+struct SweepAggregate {
+  std::size_t cells = 0;
+  std::size_t successes = 0;
+  std::size_t detector_ok = 0;  // abstract k-anti-Omega held
+  Summary steps;                // steps_executed per cell
+  Summary witness_bound;        // measured (P, Q) bound per cell
+  Summary distinct_decisions;
+  // Wall-clock facts (the only thread-count-dependent fields).
+  double wall_seconds = 0.0;
+  double runs_per_second = 0.0;
+};
+
+struct SweepResult {
+  std::vector<SweepCell> cells;     // grid order
+  std::vector<RunReport> reports;   // reports[i] belongs to cells[i]
+  SweepAggregate aggregate;
+
+  /// Success-rate matrix, one row per (spec, family) group, rendered
+  /// with util/table. Deterministic at any thread count.
+  std::string render_success_matrix() const;
+};
+
+class ParallelSweep {
+ public:
+  explicit ParallelSweep(SweepOptions options = {});
+
+  /// Runs run_agreement on every cell of the grid. A throwing cell
+  /// does not abort in-flight siblings; after the sweep drains, the
+  /// exception of the lowest-index failing cell is rethrown.
+  SweepResult run(const SweepGrid& grid) const;
+
+  /// Generic sharded loop for grids whose cells are not RunConfigs
+  /// (detector convergence rows, ablation scenarios, ...). Same
+  /// work-stealing pool, same deterministic exception contract.
+  static void for_each(std::size_t n, int threads,
+                       const std::function<void(std::size_t)>& fn);
+
+ private:
+  SweepOptions options_;
+};
+
+/// for_each that collects results into a vector indexed by cell — the
+/// common shape of the refactored bench tables.
+template <typename T>
+std::vector<T> parallel_map(std::size_t n, int threads,
+                            const std::function<T(std::size_t)>& fn) {
+  std::vector<T> out(n);
+  ParallelSweep::for_each(n, threads,
+                          [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace setlib::core
+
+#endif  // SETLIB_CORE_SWEEP_H

@@ -1,0 +1,112 @@
+#include "src/core/sweep_cli.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/util/assert.h"
+
+namespace setlib::core {
+
+namespace {
+
+bool consume_int_flag(const std::string& arg, const std::string& prefix,
+                      int* out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(prefix.size());
+  SETLIB_EXPECTS(!value.empty());
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  // Reject trailing garbage ("--threads=8x") instead of truncating.
+  SETLIB_EXPECTS(end != nullptr && *end == '\0');
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+}  // namespace
+
+BenchOptions parse_bench_options(int* argc, char** argv,
+                                 const std::string& bench_name) {
+  BenchOptions options;
+  options.bench_name = bench_name;
+  options.json_path = "BENCH_" + bench_name + ".json";
+
+  int kept = 1;  // argv[0] always stays
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (consume_int_flag(arg, "--threads=", &options.threads)) {
+      SETLIB_EXPECTS(options.threads >= 0);
+      continue;
+    }
+    if (consume_int_flag(arg, "--repeat=", &options.repeat)) {
+      SETLIB_EXPECTS(options.repeat >= 1);
+      continue;
+    }
+    if (arg == "--json") {
+      options.json = true;
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      options.json = true;
+      options.json_path = arg.substr(7);
+      SETLIB_EXPECTS(!options.json_path.empty());
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  return options;
+}
+
+BenchJson::BenchJson(BenchOptions options) : options_(std::move(options)) {}
+
+void BenchJson::section(
+    const std::string& name, std::size_t cells, double wall_seconds,
+    std::vector<std::pair<std::string, double>> extra) {
+  sections_.push_back({name, cells, wall_seconds, std::move(extra)});
+}
+
+void BenchJson::write_if_requested() const {
+  if (!options_.json) return;
+
+  std::size_t total_cells = 0;
+  double total_wall = 0.0;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"" << options_.bench_name << "\",\n";
+  os << "  \"threads\": " << options_.threads << ",\n";
+  os << "  \"repeat\": " << options_.repeat << ",\n";
+  os << "  \"sections\": [\n";
+  for (std::size_t s = 0; s < sections_.size(); ++s) {
+    const Section& sec = sections_[s];
+    total_cells += sec.cells;
+    total_wall += sec.wall_seconds;
+    const double rate =
+        sec.wall_seconds > 0.0
+            ? static_cast<double>(sec.cells) / sec.wall_seconds
+            : 0.0;
+    os << "    {\"name\": \"" << sec.name << "\", \"cells\": " << sec.cells
+       << ", \"wall_seconds\": " << sec.wall_seconds
+       << ", \"runs_per_sec\": " << rate;
+    for (const auto& [key, value] : sec.extra) {
+      os << ", \"" << key << "\": " << value;
+    }
+    os << "}" << (s + 1 < sections_.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  const double total_rate =
+      total_wall > 0.0 ? static_cast<double>(total_cells) / total_wall
+                       : 0.0;
+  os << "  \"total_cells\": " << total_cells << ",\n";
+  os << "  \"total_wall_seconds\": " << total_wall << ",\n";
+  os << "  \"runs_per_sec\": " << total_rate << "\n";
+  os << "}\n";
+
+  std::ofstream file(options_.json_path);
+  SETLIB_EXPECTS(file.good());
+  file << os.str();
+  std::cout << "wrote " << options_.json_path << "\n";
+}
+
+}  // namespace setlib::core

@@ -1,5 +1,8 @@
 #include "src/runtime/executor.h"
 
+#include <algorithm>
+#include <exception>
+
 #include "src/util/assert.h"
 
 namespace setlib::runtime {
@@ -116,6 +119,99 @@ ThreadedExecutor::RunStats ThreadedExecutor::run(Pacer& pacer,
     }
   }
   return stats;
+}
+
+WorkStealingPool::WorkStealingPool(int threads) {
+  SETLIB_EXPECTS(threads >= 0);
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  threads_ = threads;
+}
+
+void WorkStealingPool::worker_loop(
+    std::vector<Shard>& shards, std::size_t self,
+    const std::function<void(std::size_t)>& fn,
+    std::vector<std::exception_ptr>& errors) {
+  auto run_guarded = [&](std::int64_t idx) {
+    try {
+      fn(static_cast<std::size_t>(idx));
+    } catch (...) {
+      errors[static_cast<std::size_t>(idx)] = std::current_exception();
+    }
+  };
+  for (;;) {
+    std::int64_t idx = -1;
+    {
+      Shard& own = shards[self];
+      std::scoped_lock lock(own.m);
+      if (own.head < own.tail) idx = own.head++;
+    }
+    if (idx < 0) {
+      // Steal from the back of the victim with the most work left.
+      std::size_t victim = shards.size();
+      std::int64_t victim_remaining = 0;
+      for (std::size_t v = 0; v < shards.size(); ++v) {
+        if (v == self) continue;
+        std::scoped_lock lock(shards[v].m);
+        const std::int64_t remaining = shards[v].tail - shards[v].head;
+        if (remaining > victim_remaining) {
+          victim = v;
+          victim_remaining = remaining;
+        }
+      }
+      if (victim < shards.size()) {
+        Shard& s = shards[victim];
+        std::scoped_lock lock(s.m);
+        if (s.head < s.tail) idx = --s.tail;
+      }
+    }
+    if (idx < 0) return;  // every shard drained
+    run_guarded(idx);
+  }
+}
+
+void WorkStealingPool::for_each(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  std::vector<std::exception_ptr> errors(n);
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(threads_), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    std::vector<Shard> shards(workers);
+    const std::size_t base = n / workers;
+    const std::size_t extra = n % workers;
+    std::size_t begin = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t len = base + (w < extra ? 1 : 0);
+      shards[w].head = static_cast<std::int64_t>(begin);
+      shards[w].tail = static_cast<std::int64_t>(begin + len);
+      begin += len;
+    }
+    {
+      std::vector<std::jthread> pool;
+      pool.reserve(workers - 1);
+      for (std::size_t w = 1; w < workers; ++w) {
+        pool.emplace_back([&shards, w, &fn, &errors] {
+          worker_loop(shards, w, fn, errors);
+        });
+      }
+      worker_loop(shards, 0, fn, errors);
+      // jthread joins on scope exit.
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
 }
 
 }  // namespace setlib::runtime

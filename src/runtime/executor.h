@@ -14,9 +14,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -72,6 +74,45 @@ class ThreadedExecutor {
   std::atomic<std::uint64_t> crashed_mask_{0};
   std::atomic<std::int64_t> total_ops_{0};
   std::atomic<bool> stop_{false};
+};
+
+// ---------------------------------------------------------------------
+// WorkStealingPool: the generic task-parallel counterpart of the
+// ThreadedExecutor. Where the executor drives one algorithm run across
+// process threads, the pool shards an index space of *independent*
+// heavy tasks (sweep cells, experiment grid rows) across worker
+// threads. [0, n) is split into contiguous per-worker ranges; an owner
+// consumes its range from the front, and a worker whose range runs dry
+// steals single indices from the back of the victim with the most work
+// left. Cells are milliseconds-heavy, so per-shard mutexes are
+// uncontended in practice and one-at-a-time stealing balances fine.
+class WorkStealingPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency().
+  explicit WorkStealingPool(int threads);
+
+  int threads() const noexcept { return threads_; }
+
+  /// Runs fn(i) exactly once for every i in [0, n); blocks until all
+  /// indices completed. Exceptions thrown by fn are captured per index
+  /// and the one with the smallest index is rethrown after every
+  /// worker has drained — so propagation is deterministic at any
+  /// thread count and no index is silently skipped.
+  void for_each(std::size_t n,
+                const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  struct Shard {
+    std::mutex m;
+    std::int64_t head = 0;  // owner pops here
+    std::int64_t tail = 0;  // thieves pop here; range is [head, tail)
+  };
+
+  static void worker_loop(std::vector<Shard>& shards, std::size_t self,
+                          const std::function<void(std::size_t)>& fn,
+                          std::vector<std::exception_ptr>& errors);
+
+  int threads_;
 };
 
 }  // namespace setlib::runtime

@@ -41,7 +41,7 @@ Prog AtomicSnapshot::scan(Pid p, std::vector<std::int64_t>* out) {
   return scan_impl(p, out);
 }
 
-Prog AtomicSnapshot::scan_impl(Pid p, std::vector<std::int64_t>* out) {
+Prog AtomicSnapshot::scan_impl(Pid /*p*/, std::vector<std::int64_t>* out) {
 
   std::vector<Value> first(static_cast<std::size_t>(n_));
   std::vector<Value> second(static_cast<std::size_t>(n_));

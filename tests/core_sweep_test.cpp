@@ -1,0 +1,225 @@
+// The parallel sweep engine: grid enumeration, seed derivation, the
+// work-stealing pool, thread-count determinism, and the exception
+// contract.
+#include "src/core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/experiments.h"
+#include "src/core/solvability.h"
+#include "src/runtime/executor.h"
+#include "src/util/assert.h"
+
+namespace setlib::core {
+namespace {
+
+SweepGrid small_grid(int repeats) {
+  SweepGrid grid;
+  RunConfig proto;
+  proto.max_steps = 200'000;
+  grid.add_spec({1, 1, 3})
+      .add_spec({2, 2, 4})
+      .add_family(ScheduleFamily::kEnforcedRandom)
+      .add_bound(2)
+      .add_bound(4)
+      .repeats(repeats)
+      .base_seed(99)
+      .prototype(proto);
+  return grid;
+}
+
+TEST(SweepGridTest, SizeIsCartesianProduct) {
+  const SweepGrid grid = small_grid(3);
+  // 2 specs (matching system) x 1 family x 2 bounds x 3 repeats.
+  EXPECT_EQ(grid.size(), 12u);
+}
+
+TEST(SweepGridTest, EmptyGridIsLegal) {
+  SweepGrid grid;  // no specs
+  EXPECT_EQ(grid.size(), 0u);
+  const SweepResult result = ParallelSweep({4}).run(grid);
+  EXPECT_TRUE(result.cells.empty());
+  EXPECT_TRUE(result.reports.empty());
+  EXPECT_EQ(result.aggregate.cells, 0u);
+  EXPECT_EQ(result.aggregate.successes, 0u);
+  EXPECT_FALSE(result.render_success_matrix().empty());  // header only
+}
+
+TEST(SweepGridTest, SingleCellGrid) {
+  SweepGrid grid;
+  grid.add_spec({1, 1, 3});
+  EXPECT_EQ(grid.size(), 1u);
+  const SweepCell cell = grid.cell(0);
+  EXPECT_EQ(cell.index, 0u);
+  EXPECT_EQ(cell.repeat, 0);
+  EXPECT_EQ(cell.config.system.i, 1);      // matching system S^1_{2,3}
+  EXPECT_EQ(cell.config.system.j, 2);
+
+  const SweepResult result = ParallelSweep({1}).run(grid);
+  ASSERT_EQ(result.reports.size(), 1u);
+  EXPECT_TRUE(result.reports[0].success) << result.reports[0].detail;
+  EXPECT_EQ(result.aggregate.cells, 1u);
+  EXPECT_EQ(result.aggregate.successes, 1u);
+}
+
+TEST(SweepGridTest, CellSeedsAreIndexPureAndDistinct) {
+  const SweepGrid grid = small_grid(2);
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const SweepCell cell = grid.cell(i);
+    EXPECT_EQ(cell.index, i);
+    EXPECT_EQ(cell.config.seed, derive_cell_seed(99, i));
+    // Materializing the same cell twice is identical (pure function).
+    EXPECT_EQ(grid.cell(i).config.seed, cell.config.seed);
+    seeds.push_back(cell.config.seed);
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::unique(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(SweepGridTest, FullMatrixAxisEnumeratesUpperTriangle) {
+  SweepGrid grid;
+  grid.add_spec({2, 1, 4}).system_axis(SystemAxis::kFullMatrix);
+  EXPECT_EQ(grid.size(), 10u);  // n(n+1)/2 for n = 4
+  int previous_i = 1;
+  for (std::size_t idx = 0; idx < grid.size(); ++idx) {
+    const SweepCell cell = grid.cell(idx);
+    EXPECT_LE(cell.config.system.i, cell.config.system.j);
+    EXPECT_GE(cell.config.system.i, previous_i);
+    previous_i = cell.config.system.i;
+  }
+}
+
+TEST(SweepGridTest, PerCellHookSeesMaterializedCell) {
+  SweepGrid grid;
+  grid.add_spec({2, 1, 4})
+      .system_axis(SystemAxis::kFullMatrix)
+      .per_cell([](SweepCell& cell) {
+        cell.config.family = cell.config.system.i > 1
+                                 ? ScheduleFamily::kKSubsetStarver
+                                 : ScheduleFamily::kRotisserie;
+      });
+  EXPECT_EQ(grid.cell(0).config.family, ScheduleFamily::kRotisserie);
+  EXPECT_EQ(grid.cell(grid.size() - 1).config.family,
+            ScheduleFamily::kKSubsetStarver);
+}
+
+TEST(ParallelSweepTest, AggregatesAreIdenticalAcrossThreadCounts) {
+  const SweepGrid grid = small_grid(2);
+
+  const SweepResult serial = ParallelSweep({1}).run(grid);
+  const SweepResult parallel = ParallelSweep({8}).run(grid);
+
+  ASSERT_EQ(serial.reports.size(), parallel.reports.size());
+  for (std::size_t i = 0; i < serial.reports.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].config.seed, parallel.cells[i].config.seed);
+    EXPECT_EQ(serial.reports[i].success, parallel.reports[i].success);
+    EXPECT_EQ(serial.reports[i].steps_executed,
+              parallel.reports[i].steps_executed);
+    EXPECT_EQ(serial.reports[i].distinct_decisions,
+              parallel.reports[i].distinct_decisions);
+    EXPECT_EQ(serial.reports[i].witness_bound,
+              parallel.reports[i].witness_bound);
+    EXPECT_EQ(serial.reports[i].detail, parallel.reports[i].detail);
+  }
+  EXPECT_EQ(serial.aggregate.successes, parallel.aggregate.successes);
+  EXPECT_EQ(serial.aggregate.steps.mean(), parallel.aggregate.steps.mean());
+  EXPECT_EQ(serial.aggregate.witness_bound.percentile(90.0),
+            parallel.aggregate.witness_bound.percentile(90.0));
+  // The rendered table (the bench-facing artifact) is bit-identical.
+  EXPECT_EQ(serial.render_success_matrix(),
+            parallel.render_success_matrix());
+}
+
+TEST(ParallelSweepTest, Thm27MatrixIsThreadCountInvariant) {
+  MatrixConfig cfg;
+  cfg.spec = {2, 1, 4};
+  cfg.max_steps = 300'000;
+  cfg.threads = 1;
+  const auto serial = thm27_matrix(cfg);
+  cfg.threads = 8;
+  const auto parallel = thm27_matrix(cfg);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].i, parallel[i].i);
+    EXPECT_EQ(serial[i].j, parallel[i].j);
+    EXPECT_EQ(serial[i].matches, parallel[i].matches);
+    EXPECT_EQ(serial[i].detail, parallel[i].detail);
+  }
+}
+
+TEST(ParallelSweepTest, ForEachCoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 3, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    ParallelSweep::for_each(hits.size(), threads, [&](std::size_t i) {
+      hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelSweepTest, LowestIndexExceptionPropagates) {
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  try {
+    ParallelSweep::for_each(hits.size(), 8, [&](std::size_t i) {
+      hits[i].fetch_add(1);
+      if (i == 7) throw std::runtime_error("cell 7");
+      if (i == 40) throw std::runtime_error("cell 40");
+    });
+    FAIL() << "expected the sweep to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell 7");
+  }
+  // A failing cell aborts neither its siblings nor the sweep drain.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelSweepTest, FailingCellPropagatesFromGridRun) {
+  SweepGrid grid;
+  grid.add_spec({1, 1, 3}).repeats(2).per_cell([](SweepCell& cell) {
+    if (cell.index == 1) cell.config.max_steps = -1;  // contract bait
+  });
+  EXPECT_THROW(ParallelSweep({4}).run(grid), ContractViolation);
+}
+
+TEST(WorkStealingPoolTest, HardwareConcurrencyFallback) {
+  runtime::WorkStealingPool pool(0);
+  EXPECT_GE(pool.threads(), 1);
+}
+
+TEST(WorkStealingPoolTest, MoreThreadsThanWork) {
+  runtime::WorkStealingPool pool(16);
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  pool.for_each(hits.size(),
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkStealingPoolTest, ZeroTasksIsANoop) {
+  runtime::WorkStealingPool pool(4);
+  pool.for_each(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(SweepSeedTest, DeriveCellSeedMixes) {
+  EXPECT_NE(derive_cell_seed(1, 0), derive_cell_seed(1, 1));
+  EXPECT_NE(derive_cell_seed(1, 0), derive_cell_seed(2, 0));
+  EXPECT_EQ(derive_cell_seed(42, 7), derive_cell_seed(42, 7));
+}
+
+TEST(SweepFamilyTest, FamilyNames) {
+  EXPECT_STREQ(family_name(ScheduleFamily::kEnforcedRandom), "friendly");
+  EXPECT_STREQ(family_name(ScheduleFamily::kRotisserie), "rotisserie");
+  EXPECT_STREQ(family_name(ScheduleFamily::kKSubsetStarver),
+               "k-subset starver");
+}
+
+}  // namespace
+}  // namespace setlib::core
