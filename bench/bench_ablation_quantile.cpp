@@ -9,13 +9,13 @@
 //   scenario ROTISSERIE: t+1-k processes crash at step 0 and the live
 //     processes rotate solo in growing bursts: each live k-set has
 //     exactly t+1 freezable entries, so quantiles >= t+2 never settle.
-// The (quantile, scenario) grid shards across the sweep pool
-// (--threads).
+// The (quantile, scenario) grid shards across the persistent
+// ExperimentRunner pool (--threads / --shard).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
-#include "src/core/sweep.h"
+#include "src/core/runner.h"
 #include "src/core/sweep_cli.h"
 #include "src/fd/kantiomega.h"
 #include "src/fd/property.h"
@@ -68,28 +68,35 @@ Outcome run_scenario(int n, int k, int t, int quantile, bool rotisserie) {
 }
 
 void print_ablation(int n, int k, int t,
-                    const core::BenchOptions& options,
-                    core::BenchJson& json) {
-  // Grid: quantile (1..n) × scenario (CRASH, ROTISSERIE), flattened
-  // with the scenario as the inner axis.
-  const std::size_t cells = static_cast<std::size_t>(n) * 2;
+                    core::ExperimentRunner& runner,
+                    core::JsonSink& json) {
+  // Grid: one sweep item per quantile (1..n), each running both the
+  // CRASH and ROTISSERIE scenarios. Sharding at quantile granularity
+  // keeps every table row whole — a row's scenario pair is never
+  // split across shards, so the union of shard outputs is exactly the
+  // unsharded table.
+  struct PairOutcome {
+    Outcome crash;
+    Outcome rotisserie;
+  };
+  const std::size_t quantiles = static_cast<std::size_t>(n);
+  const std::size_t first = runner.shard_range(quantiles).first;
   core::WallTimer timer;
-  const auto outcomes = core::parallel_map<Outcome>(
-      cells, options.threads, [&](std::size_t idx) {
-        const int quantile = static_cast<int>(idx / 2) + 1;
-        const bool rotisserie = idx % 2 == 1;
-        return run_scenario(n, k, t, quantile, rotisserie);
+  const auto outcomes = runner.map<PairOutcome>(
+      quantiles, [&](std::size_t idx) {
+        const int quantile = static_cast<int>(idx) + 1;
+        return PairOutcome{run_scenario(n, k, t, quantile, false),
+                           run_scenario(n, k, t, quantile, true)};
       });
   const double wall = timer.seconds();
 
   TextTable table({"quantile", "CRASH: property", "CRASH: winnerset",
                    "ROTISSERIE: property", "ROTISSERIE: ws changes",
                    "verdict"});
-  for (int quantile = 1; quantile <= n; ++quantile) {
-    const Outcome& crash =
-        outcomes[static_cast<std::size_t>(quantile - 1) * 2];
-    const Outcome& rot =
-        outcomes[static_cast<std::size_t>(quantile - 1) * 2 + 1];
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const int quantile = static_cast<int>(first + i) + 1;
+    const Outcome& crash = outcomes[i].crash;
+    const Outcome& rot = outcomes[i].rotisserie;
     const bool both = crash.property && rot.property;
     std::string label = std::to_string(quantile);
     if (quantile == t + 1) label += " (paper)";
@@ -107,7 +114,7 @@ void print_ablation(int n, int k, int t,
             << table.render() << "\n";
   std::string section = "ablation_n" + std::to_string(n) + "k" +
                         std::to_string(k) + "t" + std::to_string(t);
-  json.section(section, cells, wall);
+  json.section(section, outcomes.size() * 2, wall);
 }
 
 void BM_AblationScenario(benchmark::State& state) {
@@ -123,10 +130,11 @@ BENCHMARK(BM_AblationScenario)->Arg(1)->Arg(3)->Arg(4)->Unit(
 
 int main(int argc, char** argv) {
   const auto options =
-      core::parse_bench_options(&argc, argv, "ablation_quantile");
-  core::BenchJson json(options);
-  print_ablation(5, 2, 2, options, json);
-  print_ablation(6, 2, 3, options, json);
+      core::parse_runner_options(&argc, argv, "ablation_quantile");
+  core::ExperimentRunner runner(options);
+  core::JsonSink json = runner.json_sink();
+  print_ablation(5, 2, 2, runner, json);
+  print_ablation(6, 2, 3, runner, json);
   json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

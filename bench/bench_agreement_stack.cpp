@@ -1,13 +1,16 @@
 // EXP-SUB2 — agreement-stack microbenchmarks: commit-adopt, safe
 // agreement, Paxos (solo-leader decision latency in steps and in
 // time), and the trivial algorithm. A full-stack SweepGrid section
-// (spec × family × --repeat seeds) runs through core::ParallelSweep.
+// (spec × family × --repeat seeds) runs through the persistent
+// core::ExperimentRunner.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 #include <memory>
 
 #include "src/agreement/commit_adopt.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
 #include "src/core/sweep.h"
 #include "src/core/sweep_cli.h"
 #include "src/agreement/multishot.h"
@@ -180,8 +183,8 @@ void BM_TrivialAgreement(benchmark::State& state) {
 }
 BENCHMARK(BM_TrivialAgreement)->Arg(3)->Arg(9)->Arg(18);
 
-void print_stack_sweep(const core::BenchOptions& options,
-                       core::BenchJson& json) {
+void print_stack_sweep(core::ExperimentRunner& runner,
+                       core::JsonSink& json) {
   // EXP-SUB2b: the whole detector + Paxos stack as a SweepGrid — specs
   // × both frontier families × `--repeat` index-derived seeds.
   core::SweepGrid grid;
@@ -189,33 +192,32 @@ void print_stack_sweep(const core::BenchOptions& options,
       .add_spec({3, 2, 5})
       .add_family(core::ScheduleFamily::kEnforcedRandom)
       .add_family(core::ScheduleFamily::kRotisserie)
-      .repeats(options.repeat)
+      .repeats(runner.options().repeat)
       .base_seed(7);
   core::RunConfig proto;
   proto.max_steps = 900'000;
   proto.run_full_budget = false;
   grid.prototype(proto);
 
-  const core::SweepResult result =
-      core::ParallelSweep({options.threads}).run(grid);
-  std::cout << "EXP-SUB2b: full-stack sweep (repeat=" << options.repeat
-            << ", threads=" << options.threads << ", "
-            << result.aggregate.cells << " cells, "
-            << result.aggregate.runs_per_second << " runs/sec)\n"
-            << result.render_success_matrix() << "\n";
-  json.section(
-      "stack_sweep", result.aggregate.cells,
-      result.aggregate.wall_seconds,
-      {{"successes", static_cast<double>(result.aggregate.successes)}});
+  core::TableSink table;
+  core::AggregateSink agg;
+  runner.run(grid, "stack_sweep", {&table, &agg, &json});
+  std::cout << "EXP-SUB2b: full-stack sweep (repeat="
+            << runner.options().repeat
+            << ", threads=" << runner.pool().threads() << ", "
+            << agg.aggregate().cells << " cells, "
+            << agg.aggregate().runs_per_second << " runs/sec)\n"
+            << table.render() << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto options =
-      setlib::core::parse_bench_options(&argc, argv, "agreement_stack");
-  setlib::core::BenchJson json(options);
-  print_stack_sweep(options, json);
+      setlib::core::parse_runner_options(&argc, argv, "agreement_stack");
+  setlib::core::ExperimentRunner runner(options);
+  setlib::core::JsonSink json = runner.json_sink();
+  print_stack_sweep(runner, json);
   json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

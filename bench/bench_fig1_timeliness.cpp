@@ -6,7 +6,7 @@
 // the minimal timeliness bound of each candidate on growing prefixes:
 // the singleton bounds diverge linearly with the phase index, the
 // union's bound is the constant 2. The per-prefix bound scans shard
-// across the sweep pool (--threads).
+// across the persistent ExperimentRunner pool (--threads / --shard).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
@@ -21,11 +21,11 @@ namespace {
 
 using namespace setlib;
 
-void print_figure1_table(const core::BenchOptions& options,
-                         core::BenchJson& json) {
+void print_figure1_table(core::ExperimentRunner& runner,
+                         core::JsonSink& json) {
   const std::int64_t phases = 16;
   core::WallTimer timer;
-  const auto rows = core::figure1_rows(phases, options.threads);
+  const auto rows = core::figure1_rows(phases, runner);
   const double wall = timer.seconds();
 
   TextTable table({"phase i", "prefix steps", "bound {p1} vs {q}",
@@ -82,9 +82,10 @@ BENCHMARK(BM_SystemMembershipBestPair)->Arg(4)->Arg(6)->Arg(8);
 
 int main(int argc, char** argv) {
   const auto options =
-      core::parse_bench_options(&argc, argv, "fig1_timeliness");
-  core::BenchJson json(options);
-  print_figure1_table(options, json);
+      core::parse_runner_options(&argc, argv, "fig1_timeliness");
+  core::ExperimentRunner runner(options);
+  core::JsonSink json = runner.json_sink();
+  print_figure1_table(runner, json);
   json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -4,16 +4,16 @@
 // Series: steps and loop iterations to stabilization across (n, k, t),
 // with and without crashes, plus the per-iteration register-operation
 // cost model |Pi_n^k| * n + n + 1 + |Pi_n^k|. Every series' rows are
-// independent simulator runs, so they shard across the sweep pool
-// (--threads); the microbenchmarks time raw simulator throughput while
-// the detector runs.
+// independent simulator runs, so they shard across the persistent
+// ExperimentRunner pool (--threads / --shard); the microbenchmarks
+// time raw simulator throughput while the detector runs.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 #include <memory>
 
 #include "src/core/experiments.h"
-#include "src/core/sweep.h"
+#include "src/core/runner.h"
 #include "src/core/sweep_cli.h"
 #include "src/fd/kantiomega.h"
 #include "src/sched/enforcer.h"
@@ -26,8 +26,8 @@ namespace {
 
 using namespace setlib;
 
-void print_convergence_table(const core::BenchOptions& options,
-                             core::BenchJson& json) {
+void print_convergence_table(core::ExperimentRunner& runner,
+                             core::JsonSink& json) {
   struct Row {
     int n, k, t, crashes;
   };
@@ -36,10 +36,11 @@ void print_convergence_table(const core::BenchOptions& options,
                       {5, 2, 3, 3}, {6, 2, 3, 2}, {6, 3, 3, 0},
                       {7, 3, 4, 2}, {8, 2, 4, 3}};
   const std::size_t count = std::size(rows);
+  const std::size_t first = runner.shard_range(count).first;
 
   core::WallTimer timer;
-  const auto results = core::parallel_map<core::DetectorRunResult>(
-      count, options.threads, [&](std::size_t idx) {
+  const auto results = runner.map<core::DetectorRunResult>(
+      count, [&](std::size_t idx) {
         const Row& row = rows[idx];
         core::DetectorRunConfig cfg;
         cfg.n = row.n;
@@ -55,9 +56,9 @@ void print_convergence_table(const core::BenchOptions& options,
 
   TextTable table({"n", "k", "t", "crashes", "stabilized", "property",
                    "winnerset", "steps", "iterations", "ops/iteration"});
-  for (std::size_t idx = 0; idx < count; ++idx) {
-    const Row& row = rows[idx];
-    const auto& result = results[idx];
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Row& row = rows[first + i];
+    const auto& result = results[i];
     table.row()
         .cell(row.n)
         .cell(row.k)
@@ -74,20 +75,21 @@ void print_convergence_table(const core::BenchOptions& options,
             << "(enforced witness bound 3 over seeded asynchrony; "
                "crashes at step 20000)\n"
             << table.render() << "\n";
-  json.section("convergence", count, wall);
+  json.section("convergence", results.size(), wall);
 }
 
-void print_bound_sensitivity(const core::BenchOptions& options,
-                             core::BenchJson& json) {
+void print_bound_sensitivity(core::ExperimentRunner& runner,
+                             core::JsonSink& json) {
   // EXP-F2b: the timely set steps only when the enforcer injects it
   // (weight ~0), so the schedule's synchrony quality IS the bound;
   // detector convergence cost grows with it.
   const std::int64_t bounds[] = {2, 4, 8, 16, 32, 64, 128};
   const std::size_t count = std::size(bounds);
+  const std::size_t first = runner.shard_range(count).first;
 
   core::WallTimer timer;
-  const auto results = core::parallel_map<core::DetectorRunResult>(
-      count, options.threads, [&](std::size_t idx) {
+  const auto results = runner.map<core::DetectorRunResult>(
+      count, [&](std::size_t idx) {
         core::DetectorRunConfig cfg;
         cfg.n = 5;
         cfg.k = 2;
@@ -102,22 +104,22 @@ void print_bound_sensitivity(const core::BenchOptions& options,
 
   TextTable table({"enforced bound", "stabilized", "steps",
                    "iterations (slowest correct)"});
-  for (std::size_t idx = 0; idx < count; ++idx) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
     table.row()
-        .cell(bounds[idx])
-        .cell(results[idx].stabilized ? "yes" : "NO")
-        .cell(results[idx].steps)
-        .cell(results[idx].max_iterations);
+        .cell(bounds[first + i])
+        .cell(results[i].stabilized ? "yes" : "NO")
+        .cell(results[i].steps)
+        .cell(results[i].max_iterations);
   }
   std::cout << "EXP-F2b: detector convergence vs synchrony quality "
                "(n=5, k=2, t=2; witness set scheduled once per `bound` "
                "observer steps)\n"
             << table.render() << "\n";
-  json.section("bound_sensitivity", count, wall);
+  json.section("bound_sensitivity", results.size(), wall);
 }
 
-void print_gst_series(const core::BenchOptions& options,
-                      core::BenchJson& json) {
+void print_gst_series(core::ExperimentRunner& runner,
+                      core::JsonSink& json) {
   // EXP-F2c: eventual set timeliness. The schedule is a k-subset
   // starver (no k-set timely) until GST, then an enforced witness at
   // bound 3. Reported: steps AFTER GST until the detector stabilizes —
@@ -125,6 +127,7 @@ void print_gst_series(const core::BenchOptions& options,
   const int n = 5, k = 2, t = 2;
   const std::int64_t gsts[] = {0, 20'000, 100'000, 400'000, 1'000'000};
   const std::size_t count = std::size(gsts);
+  const std::size_t first = runner.shard_range(count).first;
 
   struct GstResult {
     bool stabilized = false;
@@ -133,8 +136,8 @@ void print_gst_series(const core::BenchOptions& options,
   };
 
   core::WallTimer timer;
-  const auto results = core::parallel_map<GstResult>(
-      count, options.threads, [&](std::size_t idx) {
+  const auto results = runner.map<GstResult>(
+      count, [&](std::size_t idx) {
         const std::int64_t gst = gsts[idx];
         shm::SimMemory mem;
         fd::KAntiOmega detector(mem, fd::KAntiOmega::Params{n, k, t, 1});
@@ -175,18 +178,18 @@ void print_gst_series(const core::BenchOptions& options,
 
   TextTable table({"GST step", "stabilized", "steps after GST",
                    "iterations (slowest)"});
-  for (std::size_t idx = 0; idx < count; ++idx) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
     table.row()
-        .cell(gsts[idx])
-        .cell(results[idx].stabilized ? "yes" : "NO")
-        .cell(results[idx].steps_after_gst)
-        .cell(results[idx].min_iterations);
+        .cell(gsts[first + i])
+        .cell(results[i].stabilized ? "yes" : "NO")
+        .cell(results[i].steps_after_gst)
+        .cell(results[i].min_iterations);
   }
   std::cout << "EXP-F2c: recovery after eventual synchrony (GST) — "
                "adversarial k-subset starvation before GST, enforced "
                "witness after (n=5, k=2, t=2)\n"
             << table.render() << "\n";
-  json.section("gst_series", count, wall);
+  json.section("gst_series", results.size(), wall);
 }
 
 void BM_DetectorSteps(benchmark::State& state) {
@@ -217,11 +220,12 @@ BENCHMARK(BM_DetectorSteps)
 
 int main(int argc, char** argv) {
   const auto options =
-      core::parse_bench_options(&argc, argv, "fig2_detector");
-  core::BenchJson json(options);
-  print_convergence_table(options, json);
-  print_bound_sensitivity(options, json);
-  print_gst_series(options, json);
+      core::parse_runner_options(&argc, argv, "fig2_detector");
+  core::ExperimentRunner runner(options);
+  core::JsonSink json = runner.json_sink();
+  print_convergence_table(runner, json);
+  print_bound_sensitivity(runner, json);
+  print_gst_series(runner, json);
   json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -9,7 +9,7 @@
 
 #include <iostream>
 
-#include "src/core/sweep.h"
+#include "src/core/runner.h"
 #include "src/core/sweep_cli.h"
 #include "src/runtime/pacer.h"
 #include "src/runtime/rt_harness.h"
@@ -19,18 +19,19 @@ namespace {
 
 using namespace setlib;
 
-void print_rt_table(const core::BenchOptions& options,
-                    core::BenchJson& json) {
+void print_rt_table(core::ExperimentRunner& runner,
+                    core::JsonSink& json) {
   struct Row {
     int t, k, n, crashes;
   };
   const Row rows[] = {{1, 1, 3, 0}, {2, 1, 4, 1}, {2, 2, 5, 2},
                       {3, 2, 6, 2}, {3, 3, 6, 3}, {4, 2, 8, 3}};
   const std::size_t count = std::size(rows);
+  const std::size_t first = runner.shard_range(count).first;
 
   core::WallTimer timer;
-  const auto reports = core::parallel_map<runtime::RtRunReport>(
-      count, options.threads, [&](std::size_t idx) {
+  const auto reports = runner.map<runtime::RtRunReport>(
+      count, [&](std::size_t idx) {
         const Row& row = rows[idx];
         runtime::RtRunConfig cfg;
         cfg.n = row.n;
@@ -44,8 +45,8 @@ void print_rt_table(const core::BenchOptions& options,
 
   TextTable table({"(t,k,n)", "crashes", "success", "distinct",
                    "pacer steps", "elapsed ms", "witness bound"});
-  for (std::size_t idx = 0; idx < count; ++idx) {
-    const Row& row = rows[idx];
+  for (std::size_t idx = 0; idx < reports.size(); ++idx) {
+    const Row& row = rows[first + idx];
     const auto& report = reports[idx];
     std::string spec("(");
     spec.append(std::to_string(row.t)).append(",");
@@ -62,7 +63,7 @@ void print_rt_table(const core::BenchOptions& options,
   }
   std::cout << "EXP-RT: threaded Theorem 24 stack (jthreads + pacer)\n"
             << table.render() << "\n";
-  json.section("rt_table", count, wall);
+  json.section("rt_table", reports.size(), wall);
 }
 
 void BM_ThreadedAgreement(benchmark::State& state) {
@@ -109,9 +110,10 @@ BENCHMARK(BM_PacerGate);
 
 int main(int argc, char** argv) {
   const auto options =
-      core::parse_bench_options(&argc, argv, "runtime_threads");
-  core::BenchJson json(options);
-  print_rt_table(options, json);
+      core::parse_runner_options(&argc, argv, "runtime_threads");
+  core::ExperimentRunner runner(options);
+  core::JsonSink json = runner.json_sink();
+  print_rt_table(runner, json);
   json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

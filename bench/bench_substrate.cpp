@@ -1,12 +1,13 @@
 // EXP-SUB1 — substrate microbenchmarks: registers, coroutine step
 // dispatch, subset ranking, schedule generation and analysis, and the
 // threaded register implementation. A schedule-analysis sweep section
-// (generator family × length grid) runs through the sweep pool
-// (--threads / --json).
+// (generator family × length grid) runs through the persistent
+// ExperimentRunner pool (--threads / --shard / --json).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
+#include "src/core/runner.h"
 #include "src/core/sweep.h"
 #include "src/core/sweep_cli.h"
 #include "src/runtime/rt_memory.h"
@@ -141,8 +142,8 @@ void BM_AnalyzerScan(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzerScan)->Arg(1 << 14)->Arg(1 << 18);
 
-void print_analysis_sweep(const core::BenchOptions& options,
-                          core::BenchJson& json) {
+void print_analysis_sweep(core::ExperimentRunner& runner,
+                          core::JsonSink& json) {
   // EXP-SUB1b: generate-and-analyze grid — generator family × schedule
   // length, each cell measuring the min timeliness bound of the first
   // 2 processes w.r.t. the rest on a fresh seeded schedule.
@@ -150,10 +151,11 @@ void print_analysis_sweep(const core::BenchOptions& options,
   const std::int64_t lengths[] = {1 << 12, 1 << 14, 1 << 16};
   constexpr std::size_t kFamilies = 2;  // uniform, round-robin
   const std::size_t cells = std::size(lengths) * kFamilies;
+  const std::size_t first = runner.shard_range(cells).first;
 
   core::WallTimer timer;
-  const auto bounds = core::parallel_map<std::int64_t>(
-      cells, options.threads, [&](std::size_t idx) {
+  const auto bounds = runner.map<std::int64_t>(
+      cells, [&](std::size_t idx) {
         const std::int64_t len = lengths[idx / kFamilies];
         const bool uniform = idx % kFamilies == 0;
         const sched::Schedule schedule = [&] {
@@ -171,25 +173,27 @@ void print_analysis_sweep(const core::BenchOptions& options,
   const double wall = timer.seconds();
 
   TextTable table({"generator", "length", "bound {0,1} vs rest"});
-  for (std::size_t idx = 0; idx < cells; ++idx) {
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const std::size_t idx = first + i;
     table.row()
         .cell(idx % kFamilies == 0 ? "uniform" : "round-robin")
         .cell(lengths[idx / kFamilies])
-        .cell(bounds[idx]);
+        .cell(bounds[i]);
   }
   std::cout << "EXP-SUB1b: schedule generate+analyze sweep (n=" << n
-            << ", threads=" << options.threads << ")\n"
+            << ", threads=" << runner.pool().threads() << ")\n"
             << table.render() << "\n";
-  json.section("analysis_sweep", cells, wall);
+  json.section("analysis_sweep", bounds.size(), wall);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto options =
-      setlib::core::parse_bench_options(&argc, argv, "substrate");
-  setlib::core::BenchJson json(options);
-  print_analysis_sweep(options, json);
+      setlib::core::parse_runner_options(&argc, argv, "substrate");
+  setlib::core::ExperimentRunner runner(options);
+  setlib::core::JsonSink json = runner.json_sink();
+  print_analysis_sweep(runner, json);
   json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -4,14 +4,16 @@
 // Tables: outcome + decision latency (steps) across (n, k, t) and crash
 // patterns under the friendly family, a latency-vs-timeliness-bound
 // series, and a spec × family × seed SweepGrid aggregated into the
-// success-rate matrix. All grids run through core::ParallelSweep
-// (--threads / --repeat / --json). Microbenchmarks time whole engine
-// runs.
+// success-rate matrix. Everything runs through one persistent
+// core::ExperimentRunner (--threads / --repeat / --shard / --json).
+// Microbenchmarks time whole engine runs.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "src/core/engine.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
 #include "src/core/solvability.h"
 #include "src/core/sweep.h"
 #include "src/core/sweep_cli.h"
@@ -21,8 +23,8 @@ namespace {
 
 using namespace setlib;
 
-void print_agreement_table(const core::BenchOptions& options,
-                           core::BenchJson& json) {
+void print_agreement_table(core::ExperimentRunner& runner,
+                           core::JsonSink& json) {
   struct Row {
     int t, k, n, crashes;
   };
@@ -31,10 +33,11 @@ void print_agreement_table(const core::BenchOptions& options,
                       {3, 1, 5, 1}, {3, 3, 6, 3}, {4, 2, 6, 4},
                       {4, 2, 7, 2}, {2, 3, 5, 2}, {1, 2, 4, 1}};
   const std::size_t count = std::size(rows);
+  const std::size_t first = runner.shard_range(count).first;
 
   core::WallTimer timer;
-  const auto reports = core::parallel_map<core::RunReport>(
-      count, options.threads, [&](std::size_t idx) {
+  const auto reports = runner.map<core::RunReport>(
+      count, [&](std::size_t idx) {
         const Row& row = rows[idx];
         core::RunConfig cfg;
         cfg.spec = {row.t, row.k, row.n};
@@ -55,9 +58,9 @@ void print_agreement_table(const core::BenchOptions& options,
   TextTable table({"(t,k,n)", "system", "crashes", "success", "distinct",
                    "steps to all-decided", "witness bound"});
   std::size_t successes = 0;
-  for (std::size_t idx = 0; idx < count; ++idx) {
-    const Row& row = rows[idx];
-    const core::RunReport& report = reports[idx];
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const Row& row = rows[first + i];
+    const core::RunReport& report = reports[i];
     const core::AgreementSpec spec{row.t, row.k, row.n};
     if (report.success) ++successes;
     table.row()
@@ -72,18 +75,19 @@ void print_agreement_table(const core::BenchOptions& options,
   std::cout << "EXP-T24: (t,k,n)-agreement in the matching system "
                "S^k_{t+1,n} (friendly family)\n"
             << table.render() << "\n";
-  json.section("agreement_table", count, wall,
+  json.section("agreement_table", reports.size(), wall,
                {{"successes", static_cast<double>(successes)}});
 }
 
-void print_bound_series(const core::BenchOptions& options,
-                        core::BenchJson& json) {
+void print_bound_series(core::ExperimentRunner& runner,
+                        core::JsonSink& json) {
   const std::int64_t bounds[] = {2, 3, 4, 8, 16, 32, 64};
   const std::size_t count = std::size(bounds);
+  const std::size_t first = runner.shard_range(count).first;
 
   core::WallTimer timer;
-  const auto reports = core::parallel_map<core::RunReport>(
-      count, options.threads, [&](std::size_t idx) {
+  const auto reports = runner.map<core::RunReport>(
+      count, [&](std::size_t idx) {
         core::RunConfig cfg;
         cfg.spec = {2, 2, 5};
         cfg.system = core::matching_system(cfg.spec);
@@ -94,20 +98,20 @@ void print_bound_series(const core::BenchOptions& options,
   const double wall = timer.seconds();
 
   TextTable table({"enforced bound", "steps to all-decided", "success"});
-  for (std::size_t idx = 0; idx < count; ++idx) {
+  for (std::size_t i = 0; i < reports.size(); ++i) {
     table.row()
-        .cell(bounds[idx])
-        .cell(reports[idx].steps_executed)
-        .cell(reports[idx].success ? "yes" : "NO");
+        .cell(bounds[first + i])
+        .cell(reports[i].steps_executed)
+        .cell(reports[i].success ? "yes" : "NO");
   }
   std::cout << "EXP-T24b: decision latency vs enforced timeliness bound "
                "((2,2,5)-agreement in S^2_{3,5})\n"
             << table.render() << "\n";
-  json.section("bound_series", count, wall);
+  json.section("bound_series", reports.size(), wall);
 }
 
-void print_seed_sweep(const core::BenchOptions& options,
-                      core::BenchJson& json) {
+void print_seed_sweep(core::ExperimentRunner& runner,
+                      core::JsonSink& json) {
   // EXP-T24c: the SweepGrid proper — specs × family × `--repeat` seeds
   // in the matching system, folded into the success-rate matrix.
   core::SweepGrid grid;
@@ -115,23 +119,21 @@ void print_seed_sweep(const core::BenchOptions& options,
       .add_spec({2, 2, 5})
       .add_spec({3, 2, 5})
       .add_family(core::ScheduleFamily::kEnforcedRandom)
-      .repeats(options.repeat)
+      .repeats(runner.options().repeat)
       .base_seed(17);
   core::RunConfig proto;
   proto.max_steps = 2'000'000;
   grid.prototype(proto);
 
-  const core::SweepResult result =
-      core::ParallelSweep({options.threads}).run(grid);
+  core::TableSink table;
+  core::AggregateSink agg;
+  runner.run(grid, "seed_sweep", {&table, &agg, &json});
   std::cout << "EXP-T24c: friendly-family seed sweep (repeat="
-            << options.repeat << ", threads=" << options.threads << ", "
-            << result.aggregate.cells << " cells, "
-            << result.aggregate.runs_per_second << " runs/sec)\n"
-            << result.render_success_matrix() << "\n";
-  json.section(
-      "seed_sweep", result.aggregate.cells, result.aggregate.wall_seconds,
-      {{"successes", static_cast<double>(result.aggregate.successes)},
-       {"mean_steps", result.aggregate.steps.mean()}});
+            << runner.options().repeat
+            << ", threads=" << runner.pool().threads() << ", "
+            << agg.aggregate().cells << " cells, "
+            << agg.aggregate().runs_per_second << " runs/sec)\n"
+            << table.render() << "\n";
 }
 
 void BM_AgreementRun(benchmark::State& state) {
@@ -174,11 +176,12 @@ BENCHMARK(BM_TrivialRegime)->Arg(4)->Arg(8)->Arg(16)->Unit(
 
 int main(int argc, char** argv) {
   const auto options =
-      core::parse_bench_options(&argc, argv, "thm24_agreement");
-  core::BenchJson json(options);
-  print_agreement_table(options, json);
-  print_bound_series(options, json);
-  print_seed_sweep(options, json);
+      core::parse_runner_options(&argc, argv, "thm24_agreement");
+  core::ExperimentRunner runner(options);
+  core::JsonSink json = runner.json_sink();
+  print_agreement_table(runner, json);
+  print_bound_series(runner, json);
+  print_seed_sweep(runner, json);
   json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

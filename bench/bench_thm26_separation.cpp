@@ -11,8 +11,8 @@
 //        while no k-set stays timely (measured bounds).
 // Plus the direct evidence: the k-subset starver (a schedule of
 // S^{k+1}_{n,n}) defeats the Figure 2 detector's k-anti-Omega property.
-// Each series' rows are independent runs sharded across the sweep pool
-// (--threads).
+// Each series' rows are independent runs sharded across the persistent
+// ExperimentRunner pool (--threads / --shard).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
@@ -22,8 +22,8 @@
 #include "src/bg/bg_sim.h"
 #include "src/bg/threads.h"
 #include "src/core/engine.h"
+#include "src/core/runner.h"
 #include "src/core/solvability.h"
-#include "src/core/sweep.h"
 #include "src/core/sweep_cli.h"
 #include "src/sched/analyzer.h"
 #include "src/sched/generators.h"
@@ -35,17 +35,18 @@ namespace {
 
 using namespace setlib;
 
-void print_part1_possibility(const core::BenchOptions& options,
-                             core::BenchJson& json) {
+void print_part1_possibility(core::ExperimentRunner& runner,
+                             core::JsonSink& json) {
   struct Row {
     int k, n;
   };
   const Row rows[] = {{1, 4}, {2, 5}, {3, 6}};
   const std::size_t count = std::size(rows);
+  const std::size_t first = runner.shard_range(count).first;
 
   core::WallTimer timer;
-  const auto reports = core::parallel_map<core::RunReport>(
-      count, options.threads, [&](std::size_t idx) {
+  const auto reports = runner.map<core::RunReport>(
+      count, [&](std::size_t idx) {
         const Row& row = rows[idx];
         core::RunConfig cfg;
         cfg.spec = {row.k, row.k, row.n};
@@ -56,24 +57,24 @@ void print_part1_possibility(const core::BenchOptions& options,
   const double wall = timer.seconds();
 
   TextTable table({"(k,k,n)", "system", "success", "distinct", "steps"});
-  for (std::size_t idx = 0; idx < count; ++idx) {
-    const Row& row = rows[idx];
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const Row& row = rows[first + i];
     const core::AgreementSpec spec{row.k, row.k, row.n};
     const core::SystemSpec system{row.k, row.n, row.n};
     table.row()
         .cell(spec.to_string())
         .cell(system.to_string())
-        .cell(reports[idx].success ? "yes" : "NO")
-        .cell(reports[idx].distinct_decisions)
-        .cell(reports[idx].steps_executed);
+        .cell(reports[i].success ? "yes" : "NO")
+        .cell(reports[i].distinct_decisions)
+        .cell(reports[i].steps_executed);
   }
   std::cout << "EXP-T26 part 1: (k,k,n)-agreement solvable in S^k_{n,n}\n"
             << table.render() << "\n";
-  json.section("possibility", count, wall);
+  json.section("possibility", reports.size(), wall);
 }
 
-void print_bg_properties(const core::BenchOptions& options,
-                         core::BenchJson& json) {
+void print_bg_properties(core::ExperimentRunner& runner,
+                         core::JsonSink& json) {
   struct Row {
     int m, n;
     bool crash;
@@ -81,6 +82,7 @@ void print_bg_properties(const core::BenchOptions& options,
   const Row rows[] = {{2, 4, false}, {3, 5, false}, {3, 5, true},
                       {4, 6, true}};
   const std::size_t count = std::size(rows);
+  const std::size_t first = runner.shard_range(count).first;
 
   struct BgFacts {
     std::size_t blocked = 0;
@@ -90,8 +92,8 @@ void print_bg_properties(const core::BenchOptions& options,
   };
 
   core::WallTimer timer;
-  const auto facts = core::parallel_map<BgFacts>(
-      count, options.threads, [&](std::size_t idx) {
+  const auto facts = runner.map<BgFacts>(
+      count, [&](std::size_t idx) {
         const Row& row = rows[idx];
         shm::SimMemory mem;
         bg::BGSimulation sim_obj(
@@ -134,36 +136,37 @@ void print_bg_properties(const core::BenchOptions& options,
                    "blocked threads", "sim schedule steps",
                    "max bound (k+1)-sets vs all",
                    "min bound k-sets vs all"});
-  for (std::size_t idx = 0; idx < count; ++idx) {
-    const Row& row = rows[idx];
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    const Row& row = rows[first + i];
     table.row()
         .cell(row.m)
         .cell(row.n)
         .cell(row.crash ? 1 : 0)
-        .cell(facts[idx].blocked)
-        .cell(facts[idx].schedule_steps)
-        .cell(facts[idx].worst_kp1)
-        .cell(facts[idx].best_k);
+        .cell(facts[i].blocked)
+        .cell(facts[i].schedule_steps)
+        .cell(facts[i].worst_kp1)
+        .cell(facts[i].best_k);
   }
   std::cout
       << "EXP-T26 part 2a: BG simulation schedule-mapping properties\n"
       << "(property (i): blocked <= crashed sims; property (ii): every\n"
       << " (k+1)-set bound small = simulated schedule in S^{k+1}_{n,n})\n"
       << table.render() << "\n";
-  json.section("bg_properties", count, wall);
+  json.section("bg_properties", facts.size(), wall);
 }
 
-void print_detector_defeat(const core::BenchOptions& options,
-                           core::BenchJson& json) {
+void print_detector_defeat(core::ExperimentRunner& runner,
+                           core::JsonSink& json) {
   struct Row {
     int k, n;
   };
   const Row rows[] = {{1, 4}, {2, 5}, {3, 6}};
   const std::size_t count = std::size(rows);
+  const std::size_t first = runner.shard_range(count).first;
 
   core::WallTimer timer;
-  const auto reports = core::parallel_map<core::RunReport>(
-      count, options.threads, [&](std::size_t idx) {
+  const auto reports = runner.map<core::RunReport>(
+      count, [&](std::size_t idx) {
         const Row& row = rows[idx];
         core::RunConfig cfg;
         cfg.spec = {row.k, row.k, row.n};
@@ -177,20 +180,20 @@ void print_detector_defeat(const core::BenchOptions& options,
 
   TextTable table({"(k,k,n) detector", "family", "abstract property",
                    "winnerset changes"});
-  for (std::size_t idx = 0; idx < count; ++idx) {
-    const Row& row = rows[idx];
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const Row& row = rows[first + i];
     const core::AgreementSpec spec{row.k, row.k, row.n};
     table.row()
         .cell(spec.to_string())
         .cell("k-subset starver in S^{k+1}_{n,n}")
-        .cell(reports[idx].detector.abstract_ok ? "HOLDS (unexpected)"
-                                                : "defeated")
-        .cell(reports[idx].detector.total_winnerset_changes);
+        .cell(reports[i].detector.abstract_ok ? "HOLDS (unexpected)"
+                                              : "defeated")
+        .cell(reports[i].detector.total_winnerset_changes);
   }
   std::cout << "EXP-T26 part 2b: a S^{k+1}_{n,n} schedule defeats the "
                "k-anti-Omega detector\n"
             << table.render() << "\n";
-  json.section("detector_defeat", count, wall);
+  json.section("detector_defeat", reports.size(), wall);
 }
 
 void BM_BGSimulationThroughput(benchmark::State& state) {
@@ -223,11 +226,12 @@ BENCHMARK(BM_BGSimulationThroughput)
 
 int main(int argc, char** argv) {
   const auto options =
-      core::parse_bench_options(&argc, argv, "thm26_separation");
-  core::BenchJson json(options);
-  print_part1_possibility(options, json);
-  print_bg_properties(options, json);
-  print_detector_defeat(options, json);
+      core::parse_runner_options(&argc, argv, "thm26_separation");
+  core::ExperimentRunner runner(options);
+  core::JsonSink json = runner.json_sink();
+  print_part1_possibility(runner, json);
+  print_bg_properties(runner, json);
+  print_detector_defeat(runner, json);
   json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -6,10 +6,12 @@
 // t-resilient k-anti-Omega? — is compared against the Theorem 27
 // predicate: solvable iff i <= k and j - i >= t + 1 - k.
 //
-// The (i, j) cells of every matrix run through core::ParallelSweep;
-// `--threads=N` shards them across the work-stealing pool with
-// bit-identical cell results at any N, and `--json` records the
-// cells/wall/throughput trajectory in BENCH_thm27_matrix.json.
+// The (i, j) cells of every matrix run through one persistent
+// core::ExperimentRunner; `--threads=N` shards them across the
+// work-stealing pool with bit-identical cell results at any N,
+// `--shard=K/N` slices the cell space across processes, and `--json`
+// records the per-matrix trajectory (cells/wall/throughput plus
+// per-cell rows) in BENCH_thm27_matrix.json.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
@@ -21,8 +23,8 @@ namespace {
 
 using namespace setlib;
 
-void print_matrices(const core::BenchOptions& options,
-                    core::BenchJson& json) {
+void print_matrices(core::ExperimentRunner& runner,
+                    core::JsonSink& json) {
   struct Spec {
     int t, k, n;
   };
@@ -34,10 +36,7 @@ void print_matrices(const core::BenchOptions& options,
     core::MatrixConfig cfg;
     cfg.spec = {spec.t, spec.k, spec.n};
     cfg.max_steps = 900'000;
-    cfg.threads = options.threads;
-    core::WallTimer timer;
-    const auto matrix = core::thm27_matrix(cfg);
-    const double wall = timer.seconds();
+    const auto matrix = core::thm27_matrix(cfg, runner, {&json});
     std::cout << core::render_matrix(cfg.spec, matrix) << "\n";
     int spec_mismatches = 0;
     for (const auto& cell : matrix) {
@@ -47,12 +46,11 @@ void print_matrices(const core::BenchOptions& options,
         ++spec_mismatches;
       }
     }
-    json.section("matrix_" + cfg.spec.to_string(), matrix.size(), wall,
-                 {{"mismatches", static_cast<double>(spec_mismatches)}});
+    json.annotate("mismatches", static_cast<double>(spec_mismatches));
   }
   std::cout << "EXP-T27 summary: " << cells - mismatches << "/" << cells
             << " cells match the Theorem 27 frontier (threads="
-            << options.threads << ")\n\n";
+            << runner.pool().threads() << ")\n\n";
 }
 
 void BM_MatrixCellSolvable(benchmark::State& state) {
@@ -85,9 +83,10 @@ BENCHMARK(BM_MatrixCellUnsolvable)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   const auto options =
-      core::parse_bench_options(&argc, argv, "thm27_matrix");
-  core::BenchJson json(options);
-  print_matrices(options, json);
+      core::parse_runner_options(&argc, argv, "thm27_matrix");
+  core::ExperimentRunner runner(options);
+  core::JsonSink json = runner.json_sink();
+  print_matrices(runner, json);
   json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

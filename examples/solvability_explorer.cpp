@@ -6,12 +6,14 @@
 //   solvability_explorer t k n            — matrix for one spec
 //   solvability_explorer t k n i j        — one query, with the
 //                                           matching-system hint
-// `--threads=N` (stripped before the positional args) shards the
-// empirical matrix cells across the sweep pool.
+// `--threads=N` / `--shard=K/N` (stripped before the positional args)
+// shard the empirical matrix cells across the ExperimentRunner's
+// persistent pool.
 #include <cstdlib>
 #include <iostream>
 
 #include "src/core/experiments.h"
+#include "src/core/runner.h"
 #include "src/core/solvability.h"
 #include "src/core/sweep_cli.h"
 #include "src/util/table.h"
@@ -46,7 +48,7 @@ int main(int argc, char** argv) {
   using namespace setlib;
 
   const auto options =
-      core::parse_bench_options(&argc, argv, "solvability_explorer");
+      core::parse_runner_options(&argc, argv, "solvability_explorer");
 
   if (argc == 6) {
     const core::AgreementSpec spec{std::atoi(argv[1]), std::atoi(argv[2]),
@@ -69,11 +71,12 @@ int main(int argc, char** argv) {
     if (spec.k <= spec.t) {
       std::cout << "Running the empirical matrix (detector frontier + "
                    "solver) ...\n\n";
+      core::ExperimentRunner runner(options);
       core::MatrixConfig cfg;
       cfg.spec = spec;
       cfg.max_steps = 900'000;
-      cfg.threads = options.threads;
-      std::cout << core::render_matrix(spec, core::thm27_matrix(cfg));
+      std::cout << core::render_matrix(spec,
+                                       core::thm27_matrix(cfg, runner));
     }
     return 0;
   }

@@ -6,11 +6,12 @@
 // processes are crash-injected mid-run.
 //
 // `--repeat=N` runs N independent instances of the whole stack and
-// aggregates; `--threads=M` shards the instances across the sweep pool
-// (each instance spawns its own 6 jthreads, so keep M small).
+// aggregates; `--threads=M` shards the instances across the
+// ExperimentRunner's persistent pool (each instance spawns its own 6
+// jthreads, so keep M small).
 #include <iostream>
 
-#include "src/core/sweep.h"
+#include "src/core/runner.h"
 #include "src/core/sweep_cli.h"
 #include "src/runtime/rt_harness.h"
 #include "src/util/stats.h"
@@ -19,7 +20,8 @@ int main(int argc, char** argv) {
   using namespace setlib;
 
   const auto options =
-      core::parse_bench_options(&argc, argv, "threaded_agreement");
+      core::parse_runner_options(&argc, argv, "threaded_agreement");
+  core::ExperimentRunner runner(options);
 
   runtime::RtRunConfig cfg;
   cfg.n = 6;
@@ -33,13 +35,18 @@ int main(int argc, char** argv) {
                "jthreads,\npacer bound 6, processes 4 and 5 crash after "
                "4000 ops each.\n";
   std::cout << "Instances: " << options.repeat
-            << " (sweep threads: " << options.threads << ")\n\n";
+            << " (sweep threads: " << runner.pool().threads() << ")\n\n";
 
   const std::size_t instances =
       static_cast<std::size_t>(options.repeat);
-  const auto reports = core::parallel_map<runtime::RtRunReport>(
-      instances, options.threads,
+  const auto reports = runner.map<runtime::RtRunReport>(
+      instances,
       [&cfg](std::size_t) { return runtime::run_kset_threaded(cfg); });
+  if (reports.empty()) {
+    std::cout << "shard " << options.shard.to_string()
+              << " holds no instances\n";
+    return 0;
+  }
 
   const auto& report = reports.front();
   std::cout << "all done:        " << (report.all_done ? "yes" : "no")

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Checks that the union of sharded sweep runs equals the unsharded run.
+
+Usage: check_shard_union.py FULL.json SHARD0.json [SHARD1.json ...]
+
+The shard JSONs must come from the same bench invoked with
+--shard=0/N .. --shard=(N-1)/N, the full JSON from an unsharded run.
+For every section, the concatenation of the shards' deterministic facts
+must be bit-identical to the full run's:
+  - grid sections: the per-cell "rows" arrays (global index, success,
+    detector_ok, distinct, steps, witness_bound) concatenate, in order,
+    to the full run's rows;
+  - all sections: the shard cell counts sum to the full cell count.
+Wall-clock fields (wall_seconds, runs_per_sec, cell_seconds_*) are
+ignored by construction: they are never compared.
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def sections_by_name(doc):
+    out = {}
+    for section in doc["sections"]:
+        name = section["name"]
+        if name in out:
+            raise SystemExit(f"duplicate section {name!r}")
+        out[name] = section
+    return out
+
+
+def main():
+    if len(sys.argv) < 3:
+        raise SystemExit(__doc__)
+    full = sections_by_name(load(sys.argv[1]))
+    shards = [sections_by_name(load(p)) for p in sys.argv[2:]]
+
+    failures = 0
+    for name, section in full.items():
+        parts = [s[name] for s in shards if name in s]
+        cells = sum(p["cells"] for p in parts)
+        if cells != section["cells"]:
+            print(f"FAIL {name}: shard cells sum {cells} != "
+                  f"full {section['cells']}")
+            failures += 1
+        if "rows" in section:
+            joined = [row for p in parts for row in p.get("rows", [])]
+            if joined != section["rows"]:
+                print(f"FAIL {name}: concatenated shard rows differ "
+                      f"from the unsharded rows")
+                for got, want in zip(joined, section["rows"]):
+                    if got != want:
+                        print(f"  first diff: shard {got} vs full {want}")
+                        break
+                failures += 1
+            else:
+                print(f"ok   {name}: {len(joined)} rows identical")
+        else:
+            print(f"ok   {name}: {cells} cells")
+    if failures:
+        raise SystemExit(f"{failures} section(s) failed the union check")
+    print("shard union is bit-identical to the unsharded run")
+
+
+if __name__ == "__main__":
+    main()

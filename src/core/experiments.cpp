@@ -18,7 +18,7 @@
 namespace setlib::core {
 
 std::vector<Figure1Row> figure1_rows(std::int64_t max_phase,
-                                     int threads) {
+                                     ExperimentRunner& runner) {
   SETLIB_EXPECTS(max_phase >= 1);
   const int n = 3;
   const Pid p1 = 0, p2 = 1, q = 2;
@@ -28,9 +28,9 @@ std::vector<Figure1Row> figure1_rows(std::int64_t max_phase,
   const sched::Schedule s = sched::generate(gen, total);
 
   // The per-prefix bound scans are independent (the schedule is shared
-  // read-only), so the phases shard across the sweep pool.
-  return parallel_map<Figure1Row>(
-      static_cast<std::size_t>(max_phase), threads, [&](std::size_t i) {
+  // read-only), so the phases shard across the runner's pool.
+  return runner.map<Figure1Row>(
+      static_cast<std::size_t>(max_phase), [&](std::size_t i) {
         const std::int64_t phase = static_cast<std::int64_t>(i) + 1;
         const std::int64_t cut =
             sched::Figure1Generator::steps_through_phase(phase);
@@ -45,6 +45,11 @@ std::vector<Figure1Row> figure1_rows(std::int64_t max_phase,
             s, ProcSet::of({p1, p2}), ProcSet::of(q), 0, cut);
         return row;
       });
+}
+
+std::vector<Figure1Row> figure1_rows(std::int64_t max_phase) {
+  ExperimentRunner serial;
+  return figure1_rows(max_phase, serial);
 }
 
 DetectorRunResult run_detector_convergence(const DetectorRunConfig& cfg) {
@@ -117,7 +122,9 @@ DetectorRunResult run_detector_convergence(const DetectorRunConfig& cfg) {
   return out;
 }
 
-std::vector<MatrixCell> thm27_matrix(const MatrixConfig& cfg) {
+std::vector<MatrixCell> thm27_matrix(
+    const MatrixConfig& cfg, ExperimentRunner& runner,
+    const std::vector<ReportSink*>& extra_sinks) {
   cfg.spec.validate();
   SETLIB_EXPECTS(cfg.spec.k <= cfg.spec.t);  // the Theorem 27 regime
 
@@ -149,13 +156,17 @@ std::vector<MatrixCell> thm27_matrix(const MatrixConfig& cfg) {
         }
       });
 
-  const SweepResult swept = ParallelSweep({cfg.threads}).run(grid);
+  CollectSink collected;
+  std::vector<ReportSink*> sinks;
+  sinks.push_back(&collected);
+  sinks.insert(sinks.end(), extra_sinks.begin(), extra_sinks.end());
+  runner.run(grid, "matrix_" + cfg.spec.to_string(), sinks);
 
   std::vector<MatrixCell> cells;
-  cells.reserve(swept.cells.size());
-  for (std::size_t idx = 0; idx < swept.cells.size(); ++idx) {
-    const RunConfig& rc = swept.cells[idx].config;
-    const RunReport& report = swept.reports[idx];
+  cells.reserve(collected.cells().size());
+  for (std::size_t idx = 0; idx < collected.cells().size(); ++idx) {
+    const RunConfig& rc = collected.cells()[idx].config;
+    const RunReport& report = collected.reports()[idx];
     MatrixCell cell;
     cell.i = rc.system.i;
     cell.j = rc.system.j;
@@ -174,6 +185,11 @@ std::vector<MatrixCell> thm27_matrix(const MatrixConfig& cfg) {
     cells.push_back(cell);
   }
   return cells;
+}
+
+std::vector<MatrixCell> thm27_matrix(const MatrixConfig& cfg) {
+  ExperimentRunner serial;
+  return thm27_matrix(cfg, serial);
 }
 
 std::string render_matrix(const AgreementSpec& spec,

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/core/engine.h"
+#include "src/core/runner.h"
 #include "src/core/spec.h"
 #include "src/util/procset.h"
 
@@ -26,10 +27,13 @@ struct Figure1Row {
   std::int64_t bound_union = 0;
 };
 
-/// Rows for phases 1..max_phase; the per-prefix bound scans shard
-/// across `threads` workers (results are thread-count independent).
+/// Rows for phases 1..max_phase; the per-prefix bound scans run
+/// through the runner's pool and respect its shard (results are
+/// thread-count independent; each row carries its own phase label).
 std::vector<Figure1Row> figure1_rows(std::int64_t max_phase,
-                                     int threads = 1);
+                                     ExperimentRunner& runner);
+/// Serial, unsharded convenience overload.
+std::vector<Figure1Row> figure1_rows(std::int64_t max_phase);
 
 // ---------------------------------------------------------------------
 // EXP-F2: Figure 2 detector convergence under the friendly family.
@@ -96,11 +100,17 @@ struct MatrixConfig {
   std::int64_t rotisserie_growth = 512;
   std::int64_t friendly_bound = 3;
   std::int64_t stabilization_window = 4;
-  /// Sweep parallelism for the (i, j) cells (0 = hardware
-  /// concurrency). Cell results are identical at any thread count.
-  int threads = 1;
 };
 
+/// Runs the (i, j) cells through the runner (its pool width, shard,
+/// and grain apply; cell results are identical at any thread count and
+/// the shard union equals the unsharded matrix). `extra_sinks` stream
+/// the raw per-cell reports — e.g. a JsonSink recording the section
+/// named "matrix_<spec>".
+std::vector<MatrixCell> thm27_matrix(
+    const MatrixConfig& cfg, ExperimentRunner& runner,
+    const std::vector<ReportSink*>& extra_sinks = {});
+/// Serial, unsharded convenience overload.
 std::vector<MatrixCell> thm27_matrix(const MatrixConfig& cfg);
 
 /// Render any matrix as the frontier table the bench prints.

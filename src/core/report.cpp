@@ -1,0 +1,224 @@
+#include "src/core/report.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/util/assert.h"
+#include "src/util/table.h"
+
+namespace setlib::core {
+
+std::string ShardSpec::to_string() const {
+  return std::to_string(k) + "/" + std::to_string(n);
+}
+
+std::pair<std::size_t, std::size_t> ShardSpec::range(
+    std::size_t total) const {
+  SETLIB_EXPECTS(n >= 1 && k < n);
+  return {total * k / n, total * (k + 1) / n};
+}
+
+void ReportSink::begin_section(const std::string&, std::size_t,
+                               const ShardSpec&) {}
+void ReportSink::cell(const SweepCell&, const RunReport&, double) {}
+void ReportSink::end_section(const SectionStats&) {}
+
+void AggregateSink::cell(const SweepCell&, const RunReport& report,
+                         double) {
+  ++agg_.cells;
+  if (report.success) ++agg_.successes;
+  if (report.detector.abstract_ok) ++agg_.detector_ok;
+  agg_.steps.add(static_cast<double>(report.steps_executed));
+  agg_.witness_bound.add(static_cast<double>(report.witness_bound));
+  agg_.distinct_decisions.add(
+      static_cast<double>(report.distinct_decisions));
+}
+
+void AggregateSink::end_section(const SectionStats& stats) {
+  agg_.wall_seconds += stats.wall_seconds;
+  agg_.runs_per_second =
+      agg_.wall_seconds > 0.0
+          ? static_cast<double>(agg_.cells) / agg_.wall_seconds
+          : 0.0;
+}
+
+void CollectSink::cell(const SweepCell& cell, const RunReport& report,
+                       double) {
+  cells_.push_back(cell);
+  reports_.push_back(report);
+}
+
+void TableSink::cell(const SweepCell& cell, const RunReport& report,
+                     double) {
+  const RunConfig& config = cell.config;
+  std::string key = config.spec.to_string();
+  key.append(" / ").append(family_name(config.family));
+  auto [it, inserted] = index_of_.try_emplace(key, groups_.size());
+  if (inserted) groups_.emplace_back(key, Group{});
+  Group& g = groups_[it->second].second;
+  ++g.cells;
+  if (report.success) ++g.successes;
+  if (report.detector.abstract_ok) ++g.detector_ok;
+  g.steps.add(static_cast<double>(report.steps_executed));
+}
+
+std::string TableSink::render() const {
+  TextTable table({"spec / family", "cells", "success rate",
+                   "detector ok", "mean steps", "p90 steps"});
+  for (const auto& [key, g] : groups_) {
+    const double rate =
+        g.cells == 0 ? 0.0
+                     : static_cast<double>(g.successes) /
+                           static_cast<double>(g.cells);
+    table.row()
+        .cell(key)
+        .cell(g.cells)
+        .cell(rate)
+        .cell(g.detector_ok)
+        .cell(g.steps.empty() ? 0.0 : g.steps.mean())
+        .cell(g.steps.empty() ? 0.0 : g.steps.percentile(90.0));
+  }
+  return table.render();
+}
+
+JsonSink::JsonSink(Config config) : config_(std::move(config)) {}
+
+void JsonSink::begin_section(const std::string& name, std::size_t,
+                             const ShardSpec&) {
+  SETLIB_EXPECTS(!streaming_);  // runner sections never nest
+  streaming_ = true;
+  pending_ = Section{};
+  pending_.name = name;
+  pending_.from_grid = true;
+}
+
+void JsonSink::cell(const SweepCell& cell, const RunReport& report,
+                    double) {
+  SETLIB_EXPECTS(streaming_);
+  CellRow row;
+  row.index = cell.index;
+  row.success = report.success;
+  row.detector_ok = report.detector.abstract_ok;
+  row.distinct_decisions = report.distinct_decisions;
+  row.steps = report.steps_executed;
+  row.witness_bound = report.witness_bound;
+  pending_.rows.push_back(row);
+}
+
+void JsonSink::end_section(const SectionStats& stats) {
+  SETLIB_EXPECTS(streaming_);
+  streaming_ = false;
+  pending_.cells = stats.cells;
+  pending_.wall_seconds = stats.wall_seconds;
+  std::size_t successes = 0;
+  std::size_t detector_ok = 0;
+  Summary witness;
+  for (const CellRow& row : pending_.rows) {
+    if (row.success) ++successes;
+    if (row.detector_ok) ++detector_ok;
+    witness.add(static_cast<double>(row.witness_bound));
+  }
+  auto& extra = pending_.extra;
+  extra.emplace_back("grid_cells",
+                     static_cast<double>(stats.grid_cells));
+  extra.emplace_back("successes", static_cast<double>(successes));
+  extra.emplace_back("detector_ok", static_cast<double>(detector_ok));
+  if (!stats.steps.empty()) {
+    extra.emplace_back("steps_p50", stats.steps.percentile(50.0));
+    extra.emplace_back("steps_p90", stats.steps.percentile(90.0));
+    extra.emplace_back("steps_p99", stats.steps.percentile(99.0));
+  }
+  if (!witness.empty()) {
+    extra.emplace_back("witness_bound_p90", witness.percentile(90.0));
+  }
+  // Per-cell wall latency percentiles: the only non-deterministic
+  // section facts besides wall_seconds/runs_per_sec (keys prefixed
+  // cell_seconds_ so determinism diffs can strip them).
+  if (!stats.cell_seconds.empty()) {
+    extra.emplace_back("cell_seconds_p50",
+                       stats.cell_seconds.percentile(50.0));
+    extra.emplace_back("cell_seconds_p90",
+                       stats.cell_seconds.percentile(90.0));
+    extra.emplace_back("cell_seconds_p99",
+                       stats.cell_seconds.percentile(99.0));
+  }
+  sections_.push_back(std::move(pending_));
+  pending_ = Section{};
+}
+
+void JsonSink::section(
+    const std::string& name, std::size_t cells, double wall_seconds,
+    std::vector<std::pair<std::string, double>> extra) {
+  Section s;
+  s.name = name;
+  s.cells = cells;
+  s.wall_seconds = wall_seconds;
+  s.extra = std::move(extra);
+  sections_.push_back(std::move(s));
+}
+
+void JsonSink::annotate(const std::string& key, double value) {
+  SETLIB_EXPECTS(!sections_.empty());
+  sections_.back().extra.emplace_back(key, value);
+}
+
+std::string JsonSink::render() const {
+  std::size_t total_cells = 0;
+  double total_wall = 0.0;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"" << config_.name << "\",\n";
+  os << "  \"threads\": " << config_.threads << ",\n";
+  os << "  \"repeat\": " << config_.repeat << ",\n";
+  os << "  \"shard\": \"" << config_.shard.to_string() << "\",\n";
+  os << "  \"sections\": [\n";
+  for (std::size_t s = 0; s < sections_.size(); ++s) {
+    const Section& sec = sections_[s];
+    total_cells += sec.cells;
+    total_wall += sec.wall_seconds;
+    const double rate =
+        sec.wall_seconds > 0.0
+            ? static_cast<double>(sec.cells) / sec.wall_seconds
+            : 0.0;
+    os << "    {\"name\": \"" << sec.name << "\", \"cells\": " << sec.cells
+       << ", \"wall_seconds\": " << sec.wall_seconds
+       << ", \"runs_per_sec\": " << rate;
+    for (const auto& [key, value] : sec.extra) {
+      os << ", \"" << key << "\": " << value;
+    }
+    if (sec.from_grid) {
+      os << ", \"rows\": [";
+      for (std::size_t r = 0; r < sec.rows.size(); ++r) {
+        const CellRow& row = sec.rows[r];
+        os << (r == 0 ? "" : ", ") << "{\"index\": " << row.index
+           << ", \"success\": " << (row.success ? 1 : 0)
+           << ", \"detector_ok\": " << (row.detector_ok ? 1 : 0)
+           << ", \"distinct\": " << row.distinct_decisions
+           << ", \"steps\": " << row.steps
+           << ", \"witness_bound\": " << row.witness_bound << "}";
+      }
+      os << "]";
+    }
+    os << "}" << (s + 1 < sections_.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  const double total_rate =
+      total_wall > 0.0 ? static_cast<double>(total_cells) / total_wall
+                       : 0.0;
+  os << "  \"total_cells\": " << total_cells << ",\n";
+  os << "  \"total_wall_seconds\": " << total_wall << ",\n";
+  os << "  \"runs_per_sec\": " << total_rate << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+void JsonSink::write_if_requested() const {
+  if (!config_.enabled) return;
+  std::ofstream file(config_.path);
+  SETLIB_EXPECTS(file.good());
+  file << render();
+  std::cout << "wrote " << config_.path << "\n";
+}
+
+}  // namespace setlib::core

@@ -1,0 +1,203 @@
+// Report sinks: the result pipeline of the experiment surface.
+//
+// The ExperimentRunner executes a sweep section and streams its
+// per-cell (SweepCell, RunReport, wall seconds) triples — in cell
+// order, after the parallel phase has drained — into any number of
+// ReportSinks. Sinks replace the ad-hoc per-bench output glue:
+//
+//   - AggregateSink folds the order-deterministic SweepAggregate
+//     (success counts, step/bound summaries).
+//   - TableSink renders the success-rate matrix grouped by
+//     (spec, family) — the table every sweep bench prints.
+//   - CollectSink keeps the raw cells + reports for callers that
+//     post-process (the Theorem 27 matrix).
+//   - JsonSink accumulates BENCH_<name>.json sections: cell counts,
+//     wall/throughput, per-cell latency percentiles (util::Summary),
+//     and a per-cell row array of the deterministic fields so shard
+//     unions can be diffed cell-for-cell against unsharded runs.
+//
+// Because cells stream in cell order within a shard, and shards are
+// contiguous slices of the flat index space, concatenating the sink
+// output of shards 0..n-1 reproduces the unsharded output exactly
+// (modulo wall-clock fields).
+#ifndef SETLIB_CORE_REPORT_H
+#define SETLIB_CORE_REPORT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/sweep.h"
+#include "src/util/stats.h"
+
+namespace setlib::core {
+
+/// A half-open shard {k, n} over a flat cell index space: shard k of n
+/// covers [total*k/n, total*(k+1)/n). Shards are contiguous and in
+/// index order, so the union of shards 0..n-1 is bit-identical to the
+/// unsharded run.
+struct ShardSpec {
+  std::size_t k = 0;  // shard index
+  std::size_t n = 1;  // shard count
+
+  bool whole() const noexcept { return n == 1; }
+  std::string to_string() const;  // "k/n"
+  /// This shard's slice of [0, total), as {begin, end}.
+  std::pair<std::size_t, std::size_t> range(std::size_t total) const;
+};
+
+/// Facts about one executed sweep section (one runner.run call).
+struct SectionStats {
+  std::string name;
+  std::size_t grid_cells = 0;  // size of the full (unsharded) space
+  std::size_t cells = 0;       // cells actually run (this shard)
+  ShardSpec shard;
+  Summary steps;         // per-cell steps_executed (deterministic)
+  Summary cell_seconds;  // per-cell wall latency (thread-count dependent)
+  // Wall-clock facts (the only thread-count-dependent scalars).
+  double wall_seconds = 0.0;
+  double runs_per_second = 0.0;
+};
+
+/// Streaming consumer of a sweep section. All hooks default to no-ops;
+/// cell() is invoked in cell order after the parallel phase drains.
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+  virtual void begin_section(const std::string& name,
+                             std::size_t grid_cells,
+                             const ShardSpec& shard);
+  virtual void cell(const SweepCell& cell, const RunReport& report,
+                    double seconds);
+  virtual void end_section(const SectionStats& stats);
+};
+
+/// Order-deterministic fold of the per-cell reports.
+struct SweepAggregate {
+  std::size_t cells = 0;
+  std::size_t successes = 0;
+  std::size_t detector_ok = 0;  // abstract k-anti-Omega held
+  Summary steps;                // steps_executed per cell
+  Summary witness_bound;        // measured (P, Q) bound per cell
+  Summary distinct_decisions;
+  // Wall-clock facts (the only thread-count-dependent fields).
+  double wall_seconds = 0.0;
+  double runs_per_second = 0.0;
+};
+
+class AggregateSink : public ReportSink {
+ public:
+  void cell(const SweepCell& cell, const RunReport& report,
+            double seconds) override;
+  void end_section(const SectionStats& stats) override;
+
+  const SweepAggregate& aggregate() const noexcept { return agg_; }
+
+ private:
+  SweepAggregate agg_;
+};
+
+/// Raw cells + reports in cell order, for callers that post-process.
+class CollectSink : public ReportSink {
+ public:
+  void cell(const SweepCell& cell, const RunReport& report,
+            double seconds) override;
+
+  const std::vector<SweepCell>& cells() const noexcept { return cells_; }
+  const std::vector<RunReport>& reports() const noexcept {
+    return reports_;
+  }
+
+ private:
+  std::vector<SweepCell> cells_;
+  std::vector<RunReport> reports_;
+};
+
+/// Success-rate matrix, one row per (spec, family) group in
+/// first-appearance (cell) order. Deterministic at any thread count.
+class TableSink : public ReportSink {
+ public:
+  void cell(const SweepCell& cell, const RunReport& report,
+            double seconds) override;
+
+  std::string render() const;
+
+ private:
+  struct Group {
+    std::size_t cells = 0;
+    std::size_t successes = 0;
+    std::size_t detector_ok = 0;
+    Summary steps;
+  };
+  std::vector<std::pair<std::string, Group>> groups_;
+  std::map<std::string, std::size_t> index_of_;
+};
+
+/// Accumulates sweep sections and writes BENCH_<name>.json. Grid
+/// sections (streamed through the ReportSink hooks) record successes,
+/// per-cell latency percentiles, and a per-cell row array of the
+/// deterministic fields; hand-fed section() calls cover loops whose
+/// results are not RunReports.
+class JsonSink : public ReportSink {
+ public:
+  struct Config {
+    std::string name;       // bench name ("thm24_agreement")
+    std::string path;       // output path (BENCH_<name>.json)
+    bool enabled = false;   // --json given
+    int threads = 1;
+    int repeat = 1;
+    ShardSpec shard;
+  };
+  explicit JsonSink(Config config);
+
+  void begin_section(const std::string& name, std::size_t grid_cells,
+                     const ShardSpec& shard) override;
+  void cell(const SweepCell& cell, const RunReport& report,
+            double seconds) override;
+  void end_section(const SectionStats& stats) override;
+
+  /// Hand-recorded section for sharded loops whose per-index results
+  /// are not RunReports (detector rows, ablation scenarios, ...).
+  void section(const std::string& name, std::size_t cells,
+               double wall_seconds,
+               std::vector<std::pair<std::string, double>> extra = {});
+
+  /// Attaches an extra numeric fact to the most recent section.
+  void annotate(const std::string& key, double value);
+
+  /// The JSON document (also what write_if_requested persists).
+  std::string render() const;
+
+  /// Writes the JSON file when --json was requested; prints the path.
+  void write_if_requested() const;
+
+ private:
+  struct CellRow {
+    std::size_t index = 0;  // global (unsharded) cell index
+    bool success = false;
+    bool detector_ok = false;
+    int distinct_decisions = 0;
+    std::int64_t steps = 0;
+    std::int64_t witness_bound = 0;
+  };
+  struct Section {
+    std::string name;
+    std::size_t cells = 0;
+    double wall_seconds = 0.0;
+    std::vector<std::pair<std::string, double>> extra;
+    bool from_grid = false;
+    std::vector<CellRow> rows;  // grid sections only
+  };
+
+  Config config_;
+  std::vector<Section> sections_;
+  Section pending_;  // grid section currently streaming
+  bool streaming_ = false;
+};
+
+}  // namespace setlib::core
+
+#endif  // SETLIB_CORE_REPORT_H

@@ -1,14 +1,10 @@
 #include "src/core/sweep.h"
 
-#include <chrono>
-#include <map>
 #include <utility>
 
 #include "src/core/solvability.h"
-#include "src/runtime/executor.h"
 #include "src/util/assert.h"
 #include "src/util/rng.h"
-#include "src/util/table.h"
 
 namespace setlib::core {
 
@@ -37,6 +33,7 @@ const char* family_name(ScheduleFamily family) noexcept {
 SweepGrid& SweepGrid::add_spec(const AgreementSpec& spec) {
   spec.validate();
   specs_.push_back(spec);
+  points_valid_ = false;
   return *this;
 }
 
@@ -55,11 +52,13 @@ SweepGrid& SweepGrid::add_system(const SystemSpec& system) {
   system.validate();
   axis_ = SystemAxis::kExplicit;
   systems_.push_back(system);
+  points_valid_ = false;
   return *this;
 }
 
 SweepGrid& SweepGrid::system_axis(SystemAxis axis) {
   axis_ = axis;
+  points_valid_ = false;
   return *this;
 }
 
@@ -84,28 +83,33 @@ SweepGrid& SweepGrid::per_cell(std::function<void(SweepCell&)> hook) {
   return *this;
 }
 
-std::vector<SweepGrid::Point> SweepGrid::points() const {
-  std::vector<Point> out;
-  for (const AgreementSpec& spec : specs_) {
-    switch (axis_) {
-      case SystemAxis::kMatching:
-        out.push_back({spec, matching_system(spec)});
-        break;
-      case SystemAxis::kFullMatrix:
-        for (int i = 1; i <= spec.n; ++i) {
-          for (int j = i; j <= spec.n; ++j) {
-            out.push_back({spec, SystemSpec{i, j, spec.n}});
+const std::vector<SweepGrid::Point>& SweepGrid::points() const {
+  // Memoized: recomputing the axis product per cell() call is
+  // quadratic on full-matrix grids and dominates on 10^5-cell grids.
+  if (!points_valid_) {
+    points_cache_.clear();
+    for (const AgreementSpec& spec : specs_) {
+      switch (axis_) {
+        case SystemAxis::kMatching:
+          points_cache_.push_back({spec, matching_system(spec)});
+          break;
+        case SystemAxis::kFullMatrix:
+          for (int i = 1; i <= spec.n; ++i) {
+            for (int j = i; j <= spec.n; ++j) {
+              points_cache_.push_back({spec, SystemSpec{i, j, spec.n}});
+            }
           }
-        }
-        break;
-      case SystemAxis::kExplicit:
-        for (const SystemSpec& system : systems_) {
-          out.push_back({spec, system});
-        }
-        break;
+          break;
+        case SystemAxis::kExplicit:
+          for (const SystemSpec& system : systems_) {
+            points_cache_.push_back({spec, system});
+          }
+          break;
+      }
     }
+    points_valid_ = true;
   }
-  return out;
+  return points_cache_;
 }
 
 std::size_t SweepGrid::size() const {
@@ -116,11 +120,7 @@ std::size_t SweepGrid::size() const {
 }
 
 SweepCell SweepGrid::cell(std::size_t index) const {
-  return cell_at(index, points());
-}
-
-SweepCell SweepGrid::cell_at(std::size_t index,
-                             const std::vector<Point>& pts) const {
+  const std::vector<Point>& pts = points();
   const std::size_t families = families_.empty() ? 1 : families_.size();
   const std::size_t bounds = bounds_.empty() ? 1 : bounds_.size();
   const std::size_t repeats = static_cast<std::size_t>(repeats_);
@@ -149,97 +149,11 @@ SweepCell SweepGrid::cell_at(std::size_t index,
 }
 
 std::vector<SweepCell> SweepGrid::cells() const {
-  // Materialize the (spec, system) points once for the whole grid:
-  // cell() would rebuild them per call, which is quadratic on
-  // full-matrix grids.
-  const std::vector<Point> pts = points();
-  const std::size_t families = families_.empty() ? 1 : families_.size();
-  const std::size_t bounds = bounds_.empty() ? 1 : bounds_.size();
-  const std::size_t n =
-      pts.size() * families * bounds * static_cast<std::size_t>(repeats_);
+  const std::size_t n = size();
   std::vector<SweepCell> out;
   out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) out.push_back(cell_at(i, pts));
+  for (std::size_t i = 0; i < n; ++i) out.push_back(cell(i));
   return out;
-}
-
-ParallelSweep::ParallelSweep(SweepOptions options) : options_(options) {}
-
-void ParallelSweep::for_each(std::size_t n, int threads,
-                             const std::function<void(std::size_t)>& fn) {
-  runtime::WorkStealingPool pool(threads);
-  pool.for_each(n, fn);
-}
-
-SweepResult ParallelSweep::run(const SweepGrid& grid) const {
-  SweepResult result;
-  result.cells = grid.cells();
-  result.reports.resize(result.cells.size());
-
-  const auto start = std::chrono::steady_clock::now();
-  for_each(result.cells.size(), options_.threads, [&](std::size_t i) {
-    result.reports[i] = run_agreement(result.cells[i].config);
-  });
-  const std::chrono::duration<double> wall =
-      std::chrono::steady_clock::now() - start;
-
-  SweepAggregate& agg = result.aggregate;
-  agg.cells = result.reports.size();
-  for (const RunReport& report : result.reports) {  // cell order
-    if (report.success) ++agg.successes;
-    if (report.detector.abstract_ok) ++agg.detector_ok;
-    agg.steps.add(static_cast<double>(report.steps_executed));
-    agg.witness_bound.add(static_cast<double>(report.witness_bound));
-    agg.distinct_decisions.add(
-        static_cast<double>(report.distinct_decisions));
-  }
-  agg.wall_seconds = wall.count();
-  agg.runs_per_second =
-      agg.wall_seconds > 0.0
-          ? static_cast<double>(agg.cells) / agg.wall_seconds
-          : 0.0;
-  return result;
-}
-
-std::string SweepResult::render_success_matrix() const {
-  // Group cells by (spec, family) in first-appearance order.
-  struct Group {
-    std::size_t cells = 0;
-    std::size_t successes = 0;
-    std::size_t detector_ok = 0;
-    Summary steps;
-  };
-  std::vector<std::pair<std::string, Group>> groups;
-  std::map<std::string, std::size_t> index_of;
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const RunConfig& config = cells[i].config;
-    std::string key = config.spec.to_string();
-    key.append(" / ").append(family_name(config.family));
-    auto [it, inserted] = index_of.try_emplace(key, groups.size());
-    if (inserted) groups.emplace_back(key, Group{});
-    Group& g = groups[it->second].second;
-    ++g.cells;
-    if (reports[i].success) ++g.successes;
-    if (reports[i].detector.abstract_ok) ++g.detector_ok;
-    g.steps.add(static_cast<double>(reports[i].steps_executed));
-  }
-
-  TextTable table({"spec / family", "cells", "success rate",
-                   "detector ok", "mean steps", "p90 steps"});
-  for (const auto& [key, g] : groups) {
-    const double rate =
-        g.cells == 0 ? 0.0
-                     : static_cast<double>(g.successes) /
-                           static_cast<double>(g.cells);
-    table.row()
-        .cell(key)
-        .cell(g.cells)
-        .cell(rate)
-        .cell(g.detector_ok)
-        .cell(g.steps.empty() ? 0.0 : g.steps.mean())
-        .cell(g.steps.empty() ? 0.0 : g.steps.percentile(90.0));
-  }
-  return table.render();
 }
 
 }  // namespace setlib::core

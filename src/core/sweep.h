@@ -1,18 +1,18 @@
-// Parallel sweep engine for experiment grids.
+// Experiment grids as flat, indexable cell spaces.
 //
 // SweepGrid enumerates the cartesian product of the experiment axes —
 // agreement specs, a system axis, schedule families, timeliness bounds,
-// and repeat indices — as a flat, indexable cell space. ParallelSweep
-// shards that space across a runtime::WorkStealingPool and folds the
-// per-cell RunReports into streaming statistics (util/stats) and
-// success-rate matrices (util/table).
+// and repeat indices. Execution lives in core::ExperimentRunner
+// (src/core/runner.h), which shards the flat index space across a
+// persistent runtime::WorkStealingPool and streams per-cell RunReports
+// into ReportSinks (src/core/report.h).
 //
 // Determinism contract: a cell's RunConfig — including its seed, which
 // is derived from (base seed, flat cell index) through splitmix64 — is
-// a pure function of the grid, never of the worker that happens to run
-// it. Reports land in a slot per cell and aggregation walks them in
-// cell order after the parallel phase, so aggregated results are
-// bit-identical at any thread count (only wall-time fields differ).
+// a pure function of the grid, never of the worker, shard, or thread
+// count that happens to run it. Aggregation walks cells in index
+// order, so results are bit-identical at any thread count and the
+// concatenation of shards reproduces the unsharded run.
 #ifndef SETLIB_CORE_SWEEP_H
 #define SETLIB_CORE_SWEEP_H
 
@@ -23,7 +23,6 @@
 
 #include "src/core/engine.h"
 #include "src/core/spec.h"
-#include "src/util/stats.h"
 
 namespace setlib::core {
 
@@ -57,6 +56,12 @@ struct SweepCell {
 /// Cartesian product over the experiment axes. Axes left empty fall
 /// back to singletons taken from the prototype RunConfig; a grid with
 /// no specs is the legal empty grid (size() == 0).
+///
+/// The (spec, system) points are materialized lazily and memoized, so
+/// repeated cell() calls cost O(1) lookups instead of re-enumerating
+/// the axis product — required for 10^5-cell grids. The cache makes
+/// cell()/size() non-reentrant with the builder methods; materialize
+/// cells on one thread (the ExperimentRunner does) before fanning out.
 class SweepGrid {
  public:
   SweepGrid& add_spec(const AgreementSpec& spec);
@@ -86,9 +91,7 @@ class SweepGrid {
     AgreementSpec spec;
     SystemSpec system;
   };
-  std::vector<Point> points() const;
-  SweepCell cell_at(std::size_t index,
-                    const std::vector<Point>& pts) const;
+  const std::vector<Point>& points() const;  // memoized
 
   std::vector<AgreementSpec> specs_;
   std::vector<SystemSpec> systems_;
@@ -99,65 +102,10 @@ class SweepGrid {
   std::uint64_t base_seed_ = 1;
   RunConfig prototype_;
   std::function<void(SweepCell&)> per_cell_;
+
+  mutable std::vector<Point> points_cache_;
+  mutable bool points_valid_ = false;
 };
-
-struct SweepOptions {
-  /// Worker threads for the sweep; 0 = hardware concurrency.
-  int threads = 1;
-};
-
-/// Order-deterministic fold of the per-cell reports.
-struct SweepAggregate {
-  std::size_t cells = 0;
-  std::size_t successes = 0;
-  std::size_t detector_ok = 0;  // abstract k-anti-Omega held
-  Summary steps;                // steps_executed per cell
-  Summary witness_bound;        // measured (P, Q) bound per cell
-  Summary distinct_decisions;
-  // Wall-clock facts (the only thread-count-dependent fields).
-  double wall_seconds = 0.0;
-  double runs_per_second = 0.0;
-};
-
-struct SweepResult {
-  std::vector<SweepCell> cells;     // grid order
-  std::vector<RunReport> reports;   // reports[i] belongs to cells[i]
-  SweepAggregate aggregate;
-
-  /// Success-rate matrix, one row per (spec, family) group, rendered
-  /// with util/table. Deterministic at any thread count.
-  std::string render_success_matrix() const;
-};
-
-class ParallelSweep {
- public:
-  explicit ParallelSweep(SweepOptions options = {});
-
-  /// Runs run_agreement on every cell of the grid. A throwing cell
-  /// does not abort in-flight siblings; after the sweep drains, the
-  /// exception of the lowest-index failing cell is rethrown.
-  SweepResult run(const SweepGrid& grid) const;
-
-  /// Generic sharded loop for grids whose cells are not RunConfigs
-  /// (detector convergence rows, ablation scenarios, ...). Same
-  /// work-stealing pool, same deterministic exception contract.
-  static void for_each(std::size_t n, int threads,
-                       const std::function<void(std::size_t)>& fn);
-
- private:
-  SweepOptions options_;
-};
-
-/// for_each that collects results into a vector indexed by cell — the
-/// common shape of the refactored bench tables.
-template <typename T>
-std::vector<T> parallel_map(std::size_t n, int threads,
-                            const std::function<T(std::size_t)>& fn) {
-  std::vector<T> out(n);
-  ParallelSweep::for_each(n, threads,
-                          [&](std::size_t i) { out[i] = fn(i); });
-  return out;
-}
 
 }  // namespace setlib::core
 

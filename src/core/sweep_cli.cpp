@@ -1,9 +1,6 @@
 #include "src/core/sweep_cli.h"
 
 #include <cstdlib>
-#include <fstream>
-#include <iostream>
-#include <sstream>
 
 #include "src/util/assert.h"
 
@@ -11,8 +8,8 @@ namespace setlib::core {
 
 namespace {
 
-bool consume_int_flag(const std::string& arg, const std::string& prefix,
-                      int* out) {
+bool consume_long_flag(const std::string& arg, const std::string& prefix,
+                       long* out) {
   if (arg.rfind(prefix, 0) != 0) return false;
   const std::string value = arg.substr(prefix.size());
   SETLIB_EXPECTS(!value.empty());
@@ -20,17 +17,49 @@ bool consume_int_flag(const std::string& arg, const std::string& prefix,
   const long parsed = std::strtol(value.c_str(), &end, 10);
   // Reject trailing garbage ("--threads=8x") instead of truncating.
   SETLIB_EXPECTS(end != nullptr && *end == '\0');
-  *out = static_cast<int>(parsed);
+  *out = parsed;
+  return true;
+}
+
+bool consume_int_flag(const std::string& arg, const std::string& prefix,
+                      int* out) {
+  long value = 0;
+  if (!consume_long_flag(arg, prefix, &value)) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool consume_shard_flag(const std::string& arg, ShardSpec* out) {
+  const std::string prefix = "--shard=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(prefix.size());
+  const std::size_t slash = value.find('/');
+  SETLIB_EXPECTS(slash != std::string::npos && slash > 0 &&
+                 slash + 1 < value.size());
+  // Named locals: *end is inspected after the full expression, so the
+  // strtol buffers must outlive the statement.
+  const std::string k_text = value.substr(0, slash);
+  const std::string n_text = value.substr(slash + 1);
+  char* end = nullptr;
+  const long k = std::strtol(k_text.c_str(), &end, 10);
+  SETLIB_EXPECTS(end != nullptr && *end == '\0');
+  const long n = std::strtol(n_text.c_str(), &end, 10);
+  SETLIB_EXPECTS(end != nullptr && *end == '\0');
+  SETLIB_EXPECTS(n >= 1 && k >= 0 && k < n);
+  out->k = static_cast<std::size_t>(k);
+  out->n = static_cast<std::size_t>(n);
   return true;
 }
 
 }  // namespace
 
-BenchOptions parse_bench_options(int* argc, char** argv,
-                                 const std::string& bench_name) {
-  BenchOptions options;
-  options.bench_name = bench_name;
-  options.json_path = "BENCH_" + bench_name + ".json";
+RunnerOptions parse_runner_options(int* argc, char** argv,
+                                   const std::string& name) {
+  RunnerOptions options;
+  options.name = name;
+  // json_path left empty unless --json=path overrides it; the
+  // ExperimentRunner constructor fills in the BENCH_<name>.json
+  // default (single source of truth for the naming scheme).
 
   int kept = 1;  // argv[0] always stays
   for (int i = 1; i < *argc; ++i) {
@@ -43,6 +72,13 @@ BenchOptions parse_bench_options(int* argc, char** argv,
       SETLIB_EXPECTS(options.repeat >= 1);
       continue;
     }
+    long grain = 0;
+    if (consume_long_flag(arg, "--grain=", &grain)) {
+      SETLIB_EXPECTS(grain >= 0);
+      options.grain = static_cast<std::size_t>(grain);
+      continue;
+    }
+    if (consume_shard_flag(arg, &options.shard)) continue;
     if (arg == "--json") {
       options.json = true;
       continue;
@@ -57,56 +93,6 @@ BenchOptions parse_bench_options(int* argc, char** argv,
   }
   *argc = kept;
   return options;
-}
-
-BenchJson::BenchJson(BenchOptions options) : options_(std::move(options)) {}
-
-void BenchJson::section(
-    const std::string& name, std::size_t cells, double wall_seconds,
-    std::vector<std::pair<std::string, double>> extra) {
-  sections_.push_back({name, cells, wall_seconds, std::move(extra)});
-}
-
-void BenchJson::write_if_requested() const {
-  if (!options_.json) return;
-
-  std::size_t total_cells = 0;
-  double total_wall = 0.0;
-  std::ostringstream os;
-  os << "{\n";
-  os << "  \"bench\": \"" << options_.bench_name << "\",\n";
-  os << "  \"threads\": " << options_.threads << ",\n";
-  os << "  \"repeat\": " << options_.repeat << ",\n";
-  os << "  \"sections\": [\n";
-  for (std::size_t s = 0; s < sections_.size(); ++s) {
-    const Section& sec = sections_[s];
-    total_cells += sec.cells;
-    total_wall += sec.wall_seconds;
-    const double rate =
-        sec.wall_seconds > 0.0
-            ? static_cast<double>(sec.cells) / sec.wall_seconds
-            : 0.0;
-    os << "    {\"name\": \"" << sec.name << "\", \"cells\": " << sec.cells
-       << ", \"wall_seconds\": " << sec.wall_seconds
-       << ", \"runs_per_sec\": " << rate;
-    for (const auto& [key, value] : sec.extra) {
-      os << ", \"" << key << "\": " << value;
-    }
-    os << "}" << (s + 1 < sections_.size() ? "," : "") << "\n";
-  }
-  os << "  ],\n";
-  const double total_rate =
-      total_wall > 0.0 ? static_cast<double>(total_cells) / total_wall
-                       : 0.0;
-  os << "  \"total_cells\": " << total_cells << ",\n";
-  os << "  \"total_wall_seconds\": " << total_wall << ",\n";
-  os << "  \"runs_per_sec\": " << total_rate << "\n";
-  os << "}\n";
-
-  std::ofstream file(options_.json_path);
-  SETLIB_EXPECTS(file.good());
-  file << os.str();
-  std::cout << "wrote " << options_.json_path << "\n";
 }
 
 }  // namespace setlib::core

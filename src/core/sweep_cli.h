@@ -1,75 +1,30 @@
-// Shared command-line surface and machine-readable output for the
-// bench binaries and heavier examples.
+// Thin command-line surface for the bench binaries and heavier
+// examples: parses the shared flags into a core::RunnerOptions that
+// constructs the binary's ExperimentRunner.
 //
 // Every bench accepts, before its Google Benchmark arguments:
 //   --threads=N    sweep parallelism (0 = hardware concurrency)
 //   --repeat=N     repeat factor for grid sweeps (seeds per cell point)
-//   --json[=path]  write BENCH_<name>.json (per-section cell counts,
-//                  wall seconds, throughput in runs/sec)
+//   --shard=K/N    run the K-th of N contiguous slices of every cell
+//                  space; the union of all N shards is bit-identical
+//                  to the unsharded run (modulo wall-clock fields)
+//   --grain=N      indices per work-stealing pop (0 = auto)
+//   --json[=path]  write BENCH_<name>.json (sections, throughput,
+//                  per-cell latency percentiles and rows)
 // Recognized flags are stripped from argv so the remainder can go to
 // benchmark::Initialize unchanged.
 #ifndef SETLIB_CORE_SWEEP_CLI_H
 #define SETLIB_CORE_SWEEP_CLI_H
 
-#include <chrono>
-#include <cstdint>
 #include <string>
-#include <utility>
-#include <vector>
+
+#include "src/core/runner.h"
 
 namespace setlib::core {
 
-struct BenchOptions {
-  std::string bench_name;
-  int threads = 1;
-  int repeat = 1;
-  bool json = false;
-  std::string json_path;  // defaults to BENCH_<bench_name>.json
-};
-
 /// Parses and strips the shared flags from (argc, argv).
-BenchOptions parse_bench_options(int* argc, char** argv,
-                                 const std::string& bench_name);
-
-/// Wall-clock stopwatch for sweep sections.
-class WallTimer {
- public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-  double seconds() const {
-    const std::chrono::duration<double> d =
-        std::chrono::steady_clock::now() - start_;
-    return d.count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
-/// Accumulates per-section sweep metrics and writes BENCH_<name>.json.
-class BenchJson {
- public:
-  explicit BenchJson(BenchOptions options);
-
-  /// Records one sweep section (cells run, wall seconds, plus optional
-  /// extra numeric facts such as success counts).
-  void section(
-      const std::string& name, std::size_t cells, double wall_seconds,
-      std::vector<std::pair<std::string, double>> extra = {});
-
-  /// Writes the JSON file when --json was requested; prints the path.
-  void write_if_requested() const;
-
- private:
-  struct Section {
-    std::string name;
-    std::size_t cells = 0;
-    double wall_seconds = 0.0;
-    std::vector<std::pair<std::string, double>> extra;
-  };
-
-  BenchOptions options_;
-  std::vector<Section> sections_;
-};
+RunnerOptions parse_runner_options(int* argc, char** argv,
+                                   const std::string& name);
 
 }  // namespace setlib::core
 

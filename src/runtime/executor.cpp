@@ -128,28 +128,76 @@ WorkStealingPool::WorkStealingPool(int threads) {
     threads = hw == 0 ? 1 : static_cast<int>(hw);
   }
   threads_ = threads;
+  // Persistent workers: the submitting thread is participant 0, so a
+  // pool of T threads needs T - 1 parked workers. They spawn exactly
+  // once, here, and every subsequent job reuses them.
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] {
+      worker_main(static_cast<std::size_t>(w));
+    });
+    threads_spawned_.fetch_add(1, std::memory_order_acq_rel);
+  }
 }
 
-void WorkStealingPool::worker_loop(
-    std::vector<Shard>& shards, std::size_t self,
-    const std::function<void(std::size_t)>& fn,
-    std::vector<std::exception_ptr>& errors) {
-  auto run_guarded = [&](std::int64_t idx) {
-    try {
-      fn(static_cast<std::size_t>(idx));
-    } catch (...) {
-      errors[static_cast<std::size_t>(idx)] = std::current_exception();
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::scoped_lock lock(m_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  // jthreads join on destruction of workers_.
+}
+
+void WorkStealingPool::worker_main(std::size_t self) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock(m_);
+      work_cv_.wait(lock, [&] { return stopping_ || job_seq_ != seen; });
+      if (job_seq_ == seen) return;  // stopping and nothing new
+      seen = job_seq_;
+      job = job_;
+    }
+    // Workers beyond the job's shard count own no range and go
+    // straight to stealing; work() handles that uniformly.
+    if (job) work(*job, self);
+  }
+}
+
+void WorkStealingPool::work(Job& job, std::size_t self) {
+  auto& shards = job.shards;
+  auto run_chunk = [&](std::int64_t begin, std::int64_t len) {
+    for (std::int64_t i = begin; i < begin + len; ++i) {
+      try {
+        (*job.fn)(static_cast<std::size_t>(i));
+      } catch (...) {
+        (*job.errors)[static_cast<std::size_t>(i)] =
+            std::current_exception();
+      }
+    }
+    // The thread retiring the job's last index wakes the submitter.
+    if (job.remaining.fetch_sub(len, std::memory_order_acq_rel) == len) {
+      std::scoped_lock lock(m_);
+      done_cv_.notify_all();
     }
   };
+
   for (;;) {
-    std::int64_t idx = -1;
-    {
+    std::int64_t begin = -1;
+    std::int64_t len = 0;
+    if (self < shards.size()) {
       Shard& own = shards[self];
       std::scoped_lock lock(own.m);
-      if (own.head < own.tail) idx = own.head++;
+      if (own.head < own.tail) {
+        begin = own.head;
+        len = std::min(job.grain, own.tail - own.head);
+        own.head += len;
+      }
     }
-    if (idx < 0) {
-      // Steal from the back of the victim with the most work left.
+    if (begin < 0) {
+      // Steal a chunk from the back of the victim with the most work.
       std::size_t victim = shards.size();
       std::int64_t victim_remaining = 0;
       for (std::size_t v = 0; v < shards.size(); ++v) {
@@ -164,21 +212,28 @@ void WorkStealingPool::worker_loop(
       if (victim < shards.size()) {
         Shard& s = shards[victim];
         std::scoped_lock lock(s.m);
-        if (s.head < s.tail) idx = --s.tail;
+        if (s.head < s.tail) {
+          len = std::min(job.grain, s.tail - s.head);
+          s.tail -= len;
+          begin = s.tail;
+        }
       }
     }
-    if (idx < 0) return;  // every shard drained
-    run_guarded(idx);
+    if (begin < 0) return;  // every shard drained
+    run_chunk(begin, len);
   }
 }
 
-void WorkStealingPool::for_each(
-    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+void WorkStealingPool::for_each(std::size_t n,
+                                const std::function<void(std::size_t)>& fn,
+                                std::size_t grain) {
+  SETLIB_EXPECTS(grain >= 1);
   if (n == 0) return;
   std::vector<std::exception_ptr> errors(n);
-  const std::size_t workers = std::min<std::size_t>(
-      static_cast<std::size_t>(threads_), n);
-  if (workers <= 1) {
+  const std::size_t chunks = (n + grain - 1) / grain;
+  const std::size_t participants =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), chunks);
+  if (participants <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
       try {
         fn(i);
@@ -187,28 +242,41 @@ void WorkStealingPool::for_each(
       }
     }
   } else {
-    std::vector<Shard> shards(workers);
-    const std::size_t base = n / workers;
-    const std::size_t extra = n % workers;
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->errors = &errors;
+    job->grain = static_cast<std::int64_t>(grain);
+    job->shards = std::vector<Shard>(participants);
+    const std::size_t base = n / participants;
+    const std::size_t extra = n % participants;
     std::size_t begin = 0;
-    for (std::size_t w = 0; w < workers; ++w) {
+    for (std::size_t w = 0; w < participants; ++w) {
       const std::size_t len = base + (w < extra ? 1 : 0);
-      shards[w].head = static_cast<std::int64_t>(begin);
-      shards[w].tail = static_cast<std::int64_t>(begin + len);
+      job->shards[w].head = static_cast<std::int64_t>(begin);
+      job->shards[w].tail = static_cast<std::int64_t>(begin + len);
       begin += len;
     }
+    job->remaining.store(static_cast<std::int64_t>(n),
+                         std::memory_order_release);
     {
-      std::vector<std::jthread> pool;
-      pool.reserve(workers - 1);
-      for (std::size_t w = 1; w < workers; ++w) {
-        pool.emplace_back([&shards, w, &fn, &errors] {
-          worker_loop(shards, w, fn, errors);
-        });
-      }
-      worker_loop(shards, 0, fn, errors);
-      // jthread joins on scope exit.
+      std::scoped_lock lock(m_);
+      SETLIB_EXPECTS(!busy_);  // one parallel submission at a time
+      busy_ = true;
+      job_ = job;
+      ++job_seq_;
+    }
+    work_cv_.notify_all();
+    work(*job, 0);  // the submitter is participant 0
+    {
+      std::unique_lock lock(m_);
+      done_cv_.wait(lock, [&] {
+        return job->remaining.load(std::memory_order_acquire) <= 0;
+      });
+      job_ = nullptr;
+      busy_ = false;
     }
   }
+  jobs_completed_.fetch_add(1, std::memory_order_acq_rel);
   for (std::size_t i = 0; i < n; ++i) {
     if (errors[i]) std::rethrow_exception(errors[i]);
   }

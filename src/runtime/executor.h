@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -83,23 +84,55 @@ class ThreadedExecutor {
 // heavy tasks (sweep cells, experiment grid rows) across worker
 // threads. [0, n) is split into contiguous per-worker ranges; an owner
 // consumes its range from the front, and a worker whose range runs dry
-// steals single indices from the back of the victim with the most work
-// left. Cells are milliseconds-heavy, so per-shard mutexes are
-// uncontended in practice and one-at-a-time stealing balances fine.
+// steals from the back of the victim with the most work left.
+//
+// The pool is persistent: worker threads spawn once in the constructor
+// and park on a condition variable between jobs, so sequential
+// for_each calls (the ExperimentRunner's sweep sections) reuse the
+// same threads instead of respawning. threads_spawned() exposes the
+// lifetime spawn count, jobs_completed() the number of drained jobs —
+// together they make the reuse observable in tests.
+//
+// Chunking: both owners and thieves pop up to `grain` consecutive
+// indices per lock acquisition. Heavy cells want grain == 1 (best
+// balance); 10^5-cell grids of microsecond cells want larger grains to
+// cut steal/lock overhead. Chunking never affects results: every index
+// runs exactly once and lands in its own slot.
 class WorkStealingPool {
  public:
   /// threads == 0 picks std::thread::hardware_concurrency().
   explicit WorkStealingPool(int threads);
+  ~WorkStealingPool();
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
 
   int threads() const noexcept { return threads_; }
+
+  /// Worker threads spawned over the pool's lifetime. Constant from
+  /// construction on — a persistent pool never respawns.
+  std::int64_t threads_spawned() const noexcept {
+    return threads_spawned_.load(std::memory_order_acquire);
+  }
+
+  /// for_each jobs drained so far.
+  std::int64_t jobs_completed() const noexcept {
+    return jobs_completed_.load(std::memory_order_acquire);
+  }
 
   /// Runs fn(i) exactly once for every i in [0, n); blocks until all
   /// indices completed. Exceptions thrown by fn are captured per index
   /// and the one with the smallest index is rethrown after every
   /// worker has drained — so propagation is deterministic at any
-  /// thread count and no index is silently skipped.
-  void for_each(std::size_t n,
-                const std::function<void(std::size_t)>& fn) const;
+  /// thread count and no index is silently skipped. `grain` is the
+  /// maximum number of consecutive indices claimed per pop (>= 1).
+  ///
+  /// One parallel submission at a time: the pool has a single job
+  /// slot, so concurrent (or nested, from inside fn) parallel
+  /// for_each calls on the same pool are a contract violation —
+  /// asserted, not silently serialized. Serial fallbacks (one
+  /// participant) are reentrancy-safe.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn,
+                std::size_t grain = 1);
 
  private:
   struct Shard {
@@ -108,11 +141,30 @@ class WorkStealingPool {
     std::int64_t tail = 0;  // thieves pop here; range is [head, tail)
   };
 
-  static void worker_loop(std::vector<Shard>& shards, std::size_t self,
-                          const std::function<void(std::size_t)>& fn,
-                          std::vector<std::exception_ptr>& errors);
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::vector<Shard> shards;
+    std::vector<std::exception_ptr>* errors = nullptr;
+    std::int64_t grain = 1;
+    std::atomic<std::int64_t> remaining{0};  // indices not yet executed
+  };
+
+  void worker_main(std::size_t self);
+  void work(Job& job, std::size_t self);
 
   int threads_;
+  std::atomic<std::int64_t> threads_spawned_{0};
+  std::atomic<std::int64_t> jobs_completed_{0};
+
+  std::mutex m_;
+  std::condition_variable work_cv_;  // workers park here between jobs
+  std::condition_variable done_cv_;  // the submitter waits here
+  std::shared_ptr<Job> job_;         // current job (null when idle)
+  std::uint64_t job_seq_ = 0;        // bumped per submitted job
+  bool busy_ = false;                // a parallel job is in flight
+  bool stopping_ = false;
+
+  std::vector<std::jthread> workers_;  // last: joins before members die
 };
 
 }  // namespace setlib::runtime

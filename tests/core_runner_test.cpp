@@ -1,0 +1,273 @@
+// The ExperimentRunner: shard determinism (the concatenation of the
+// k/N shard runs equals the 1-shard run cell-for-cell), persistent
+// pool reuse (no thread respawn across sequential run() calls), grain
+// batching, and the report sinks.
+#include "src/core/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/core/sweep.h"
+#include "src/runtime/executor.h"
+#include "src/util/assert.h"
+
+namespace setlib::core {
+namespace {
+
+SweepGrid shard_grid() {
+  SweepGrid grid;
+  RunConfig proto;
+  proto.max_steps = 150'000;
+  grid.add_spec({1, 1, 3})
+      .add_spec({2, 2, 4})
+      .add_family(ScheduleFamily::kEnforcedRandom)
+      .add_bound(2)
+      .add_bound(3)
+      .repeats(3)
+      .base_seed(41)
+      .prototype(proto);
+  return grid;  // 2 specs x 1 family x 2 bounds x 3 repeats = 12 cells
+}
+
+ExperimentRunner make_runner(int threads, ShardSpec shard = {},
+                             std::size_t grain = 0) {
+  RunnerOptions options;
+  options.threads = threads;
+  options.shard = shard;
+  options.grain = grain;
+  return ExperimentRunner(options);
+}
+
+TEST(ShardSpecTest, RangesPartitionTheIndexSpace) {
+  for (const std::size_t total : {0u, 1u, 7u, 10u, 12u, 101u}) {
+    for (const std::size_t n : {1u, 2u, 3u, 4u, 7u}) {
+      std::size_t covered = 0;
+      std::size_t previous_end = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const auto [begin, end] = ShardSpec{k, n}.range(total);
+        EXPECT_EQ(begin, previous_end);  // contiguous, in order
+        EXPECT_LE(begin, end);
+        covered += end - begin;
+        previous_end = end;
+      }
+      EXPECT_EQ(previous_end, total);
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(RunnerShardTest, ShardUnionEqualsUnshardedRunCellForCell) {
+  const SweepGrid grid = shard_grid();
+
+  ExperimentRunner full_runner = make_runner(4);
+  CollectSink full;
+  full_runner.run(grid, "full", {&full});
+  ASSERT_EQ(full.cells().size(), 12u);
+
+  std::vector<SweepCell> union_cells;
+  std::vector<RunReport> union_reports;
+  const std::size_t shards = 4;
+  for (std::size_t k = 0; k < shards; ++k) {
+    ExperimentRunner shard_runner = make_runner(2, ShardSpec{k, shards});
+    CollectSink part;
+    shard_runner.run(grid, "part", {&part});
+    union_cells.insert(union_cells.end(), part.cells().begin(),
+                       part.cells().end());
+    union_reports.insert(union_reports.end(), part.reports().begin(),
+                         part.reports().end());
+  }
+
+  ASSERT_EQ(union_cells.size(), full.cells().size());
+  for (std::size_t i = 0; i < union_cells.size(); ++i) {
+    EXPECT_EQ(union_cells[i].index, full.cells()[i].index);
+    EXPECT_EQ(union_cells[i].config.seed, full.cells()[i].config.seed);
+    EXPECT_EQ(union_reports[i].success, full.reports()[i].success);
+    EXPECT_EQ(union_reports[i].steps_executed,
+              full.reports()[i].steps_executed);
+    EXPECT_EQ(union_reports[i].witness_bound,
+              full.reports()[i].witness_bound);
+    EXPECT_EQ(union_reports[i].distinct_decisions,
+              full.reports()[i].distinct_decisions);
+    EXPECT_EQ(union_reports[i].detail, full.reports()[i].detail);
+  }
+}
+
+TEST(RunnerShardTest, ShardedMapSlicesConcatenateToUnshardedMap) {
+  const std::size_t n = 23;
+  ExperimentRunner full_runner = make_runner(3);
+  const auto full = full_runner.map<std::size_t>(
+      n, [](std::size_t i) { return i * i + 1; });
+  ASSERT_EQ(full.size(), n);
+
+  std::vector<std::size_t> joined;
+  for (std::size_t k = 0; k < 3; ++k) {
+    ExperimentRunner shard_runner = make_runner(2, ShardSpec{k, 3});
+    const auto part = shard_runner.map<std::size_t>(
+        n, [](std::size_t i) { return i * i + 1; });
+    joined.insert(joined.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(joined, full);
+}
+
+TEST(RunnerShardTest, EmptyShardIsLegal) {
+  // More shards than cells: the tail shards are empty slices.
+  ExperimentRunner runner = make_runner(2, ShardSpec{6, 8});
+  SweepGrid grid;
+  grid.add_spec({1, 1, 3});  // one cell
+  CollectSink part;
+  const SectionStats stats = runner.run(grid, "empty-shard", {&part});
+  EXPECT_EQ(stats.cells, 0u);
+  EXPECT_EQ(stats.grid_cells, 1u);
+  EXPECT_TRUE(part.cells().empty());
+}
+
+TEST(RunnerPoolTest, SequentialRunsReuseTheSameWorkerThreads) {
+  ExperimentRunner runner = make_runner(4);
+  const std::int64_t spawned_at_start = runner.pool().threads_spawned();
+  EXPECT_EQ(spawned_at_start, 3);  // submitter + 3 persistent workers
+
+  const SweepGrid grid = shard_grid();
+  CollectSink first_run, second_run;
+  runner.run(grid, "first", {&first_run});
+  const std::int64_t jobs_after_first = runner.pool().jobs_completed();
+  runner.run(grid, "second", {&second_run});
+
+  // Persistent pool: both sweep sections executed, yet the spawn
+  // counter never moved — the same workers served both jobs.
+  EXPECT_EQ(runner.pool().threads_spawned(), spawned_at_start);
+  EXPECT_GT(runner.pool().jobs_completed(), jobs_after_first);
+
+  // And reuse does not perturb results.
+  ASSERT_EQ(first_run.reports().size(), second_run.reports().size());
+  for (std::size_t i = 0; i < first_run.reports().size(); ++i) {
+    EXPECT_EQ(first_run.reports()[i].steps_executed,
+              second_run.reports()[i].steps_executed);
+    EXPECT_EQ(first_run.reports()[i].detail,
+              second_run.reports()[i].detail);
+  }
+}
+
+TEST(RunnerPoolTest, GrainBatchingCoversEveryIndexExactlyOnce) {
+  for (const std::size_t grain : {1u, 4u, 16u, 64u, 1000u}) {
+    runtime::WorkStealingPool pool(4);
+    std::vector<std::atomic<int>> hits(137);
+    for (auto& h : hits) h.store(0);
+    pool.for_each(
+        hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
+        grain);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(RunnerPoolTest, GrainKnobAppliesThroughRunnerOptions) {
+  ExperimentRunner runner = make_runner(4, ShardSpec{}, 8);
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h.store(0);
+  runner.run(hits.size(), "grained", [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunnerPoolTest, ExceptionContractHoldsUnderGrainBatching) {
+  runtime::WorkStealingPool pool(4);
+  std::vector<std::atomic<int>> hits(96);
+  for (auto& h : hits) h.store(0);
+  try {
+    pool.for_each(
+        hits.size(),
+        [&](std::size_t i) {
+          hits[i].fetch_add(1);
+          if (i == 11 || i == 70) {
+            throw std::runtime_error("cell " + std::to_string(i));
+          }
+        },
+        8);
+    FAIL() << "expected the pool to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell 11");
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(JsonSinkTest, SinksSurviveAThrowingSweepSection) {
+  RunnerOptions options;
+  options.name = "throwing";
+  options.threads = 4;
+  ExperimentRunner runner(options);
+  JsonSink json = runner.json_sink();
+
+  SweepGrid bait;
+  bait.add_spec({1, 1, 3}).repeats(2).per_cell([](SweepCell& cell) {
+    if (cell.index == 1) cell.config.max_steps = -1;  // contract bait
+  });
+  EXPECT_THROW(runner.run(bait, "bait", {&json}), ContractViolation);
+
+  // The failed section was closed (empty), so the sink is reusable.
+  SweepGrid good;
+  RunConfig proto;
+  proto.max_steps = 150'000;
+  good.add_spec({1, 1, 3}).prototype(proto);
+  runner.run(good, "good", {&json});
+  const std::string doc = json.render();
+  EXPECT_NE(doc.find("\"name\": \"bait\", \"cells\": 0"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"good\", \"cells\": 1"),
+            std::string::npos);
+}
+
+TEST(JsonSinkTest, GridSectionsRecordRowsAndPercentiles) {
+  RunnerOptions options;
+  options.name = "runner_test";
+  options.threads = 2;
+  ExperimentRunner runner(options);
+  JsonSink json = runner.json_sink();
+
+  SweepGrid grid;
+  RunConfig proto;
+  proto.max_steps = 150'000;
+  grid.add_spec({1, 1, 3}).repeats(2).base_seed(5).prototype(proto);
+  runner.run(grid, "grid_section", {&json});
+  json.section("hand_fed", 3, 0.5, {{"successes", 3.0}});
+  json.annotate("mismatches", 0.0);
+
+  const std::string doc = json.render();
+  EXPECT_NE(doc.find("\"bench\": \"runner_test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"shard\": \"0/1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"grid_section\""), std::string::npos);
+  EXPECT_NE(doc.find("\"rows\": [{\"index\": 0"), std::string::npos);
+  EXPECT_NE(doc.find("\"steps_p50\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cell_seconds_p90\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"hand_fed\""), std::string::npos);
+  EXPECT_NE(doc.find("\"mismatches\": 0"), std::string::npos);
+  EXPECT_NE(doc.find("\"total_cells\": 5"), std::string::npos);
+}
+
+TEST(JsonSinkTest, ShardRowsCarryGlobalIndices) {
+  RunnerOptions options;
+  options.name = "shard_rows";
+  options.threads = 1;
+  options.shard = {1, 2};  // second half
+  ExperimentRunner runner(options);
+  JsonSink json = runner.json_sink();
+
+  SweepGrid grid;
+  RunConfig proto;
+  proto.max_steps = 150'000;
+  grid.add_spec({1, 1, 3}).repeats(4).base_seed(5).prototype(proto);
+  runner.run(grid, "grid_section", {&json});
+
+  const std::string doc = json.render();
+  // Shard 1/2 of 4 cells covers global indices 2 and 3.
+  EXPECT_NE(doc.find("\"rows\": [{\"index\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("{\"index\": 3"), std::string::npos);
+  EXPECT_EQ(doc.find("{\"index\": 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace setlib::core

@@ -1,6 +1,6 @@
-// The parallel sweep engine: grid enumeration, seed derivation, the
-// work-stealing pool, thread-count determinism, and the exception
-// contract.
+// The sweep grid and its execution through the ExperimentRunner: grid
+// enumeration, seed derivation, memoized points, thread-count
+// determinism, and the exception contract.
 #include "src/core/sweep.h"
 
 #include <gtest/gtest.h>
@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "src/core/experiments.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
 #include "src/core/solvability.h"
 #include "src/runtime/executor.h"
 #include "src/util/assert.h"
@@ -33,6 +35,12 @@ SweepGrid small_grid(int repeats) {
   return grid;
 }
 
+ExperimentRunner make_runner(int threads) {
+  RunnerOptions options;
+  options.threads = threads;
+  return ExperimentRunner(options);
+}
+
 TEST(SweepGridTest, SizeIsCartesianProduct) {
   const SweepGrid grid = small_grid(3);
   // 2 specs (matching system) x 1 family x 2 bounds x 3 repeats.
@@ -42,12 +50,15 @@ TEST(SweepGridTest, SizeIsCartesianProduct) {
 TEST(SweepGridTest, EmptyGridIsLegal) {
   SweepGrid grid;  // no specs
   EXPECT_EQ(grid.size(), 0u);
-  const SweepResult result = ParallelSweep({4}).run(grid);
-  EXPECT_TRUE(result.cells.empty());
-  EXPECT_TRUE(result.reports.empty());
-  EXPECT_EQ(result.aggregate.cells, 0u);
-  EXPECT_EQ(result.aggregate.successes, 0u);
-  EXPECT_FALSE(result.render_success_matrix().empty());  // header only
+  ExperimentRunner runner = make_runner(4);
+  CollectSink collected;
+  TableSink table;
+  const SectionStats stats =
+      runner.run(grid, "empty", {&collected, &table});
+  EXPECT_TRUE(collected.cells().empty());
+  EXPECT_TRUE(collected.reports().empty());
+  EXPECT_EQ(stats.cells, 0u);
+  EXPECT_FALSE(table.render().empty());  // header only
 }
 
 TEST(SweepGridTest, SingleCellGrid) {
@@ -60,11 +71,15 @@ TEST(SweepGridTest, SingleCellGrid) {
   EXPECT_EQ(cell.config.system.i, 1);      // matching system S^1_{2,3}
   EXPECT_EQ(cell.config.system.j, 2);
 
-  const SweepResult result = ParallelSweep({1}).run(grid);
-  ASSERT_EQ(result.reports.size(), 1u);
-  EXPECT_TRUE(result.reports[0].success) << result.reports[0].detail;
-  EXPECT_EQ(result.aggregate.cells, 1u);
-  EXPECT_EQ(result.aggregate.successes, 1u);
+  ExperimentRunner runner = make_runner(1);
+  CollectSink collected;
+  AggregateSink agg;
+  runner.run(grid, "single", {&collected, &agg});
+  ASSERT_EQ(collected.reports().size(), 1u);
+  EXPECT_TRUE(collected.reports()[0].success)
+      << collected.reports()[0].detail;
+  EXPECT_EQ(agg.aggregate().cells, 1u);
+  EXPECT_EQ(agg.aggregate().successes, 1u);
 }
 
 TEST(SweepGridTest, CellSeedsAreIndexPureAndDistinct) {
@@ -95,6 +110,23 @@ TEST(SweepGridTest, FullMatrixAxisEnumeratesUpperTriangle) {
   }
 }
 
+TEST(SweepGridTest, MemoizedPointsSurviveBuilderMutation) {
+  // The point cache must invalidate when the axis product changes:
+  // cell(0) both before and after a mutating builder call has to see
+  // the up-to-date product.
+  SweepGrid grid;
+  grid.add_spec({2, 1, 4});
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid.cell(0).config.system.i, 1);  // matching system
+
+  grid.system_axis(SystemAxis::kFullMatrix);
+  EXPECT_EQ(grid.size(), 10u);
+
+  grid.add_spec({2, 2, 5}).system_axis(SystemAxis::kMatching);
+  EXPECT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid.cell(1).config.spec.n, 5);
+}
+
 TEST(SweepGridTest, PerCellHookSeesMaterializedCell) {
   SweepGrid grid;
   grid.add_spec({2, 1, 4})
@@ -109,41 +141,49 @@ TEST(SweepGridTest, PerCellHookSeesMaterializedCell) {
             ScheduleFamily::kKSubsetStarver);
 }
 
-TEST(ParallelSweepTest, AggregatesAreIdenticalAcrossThreadCounts) {
+TEST(ExperimentRunnerTest, AggregatesAreIdenticalAcrossThreadCounts) {
   const SweepGrid grid = small_grid(2);
 
-  const SweepResult serial = ParallelSweep({1}).run(grid);
-  const SweepResult parallel = ParallelSweep({8}).run(grid);
+  ExperimentRunner serial_runner = make_runner(1);
+  ExperimentRunner parallel_runner = make_runner(8);
+  CollectSink serial, parallel;
+  AggregateSink serial_agg, parallel_agg;
+  TableSink serial_table, parallel_table;
+  serial_runner.run(grid, "sweep", {&serial, &serial_agg, &serial_table});
+  parallel_runner.run(grid, "sweep",
+                      {&parallel, &parallel_agg, &parallel_table});
 
-  ASSERT_EQ(serial.reports.size(), parallel.reports.size());
-  for (std::size_t i = 0; i < serial.reports.size(); ++i) {
-    EXPECT_EQ(serial.cells[i].config.seed, parallel.cells[i].config.seed);
-    EXPECT_EQ(serial.reports[i].success, parallel.reports[i].success);
-    EXPECT_EQ(serial.reports[i].steps_executed,
-              parallel.reports[i].steps_executed);
-    EXPECT_EQ(serial.reports[i].distinct_decisions,
-              parallel.reports[i].distinct_decisions);
-    EXPECT_EQ(serial.reports[i].witness_bound,
-              parallel.reports[i].witness_bound);
-    EXPECT_EQ(serial.reports[i].detail, parallel.reports[i].detail);
+  ASSERT_EQ(serial.reports().size(), parallel.reports().size());
+  for (std::size_t i = 0; i < serial.reports().size(); ++i) {
+    EXPECT_EQ(serial.cells()[i].config.seed,
+              parallel.cells()[i].config.seed);
+    EXPECT_EQ(serial.reports()[i].success, parallel.reports()[i].success);
+    EXPECT_EQ(serial.reports()[i].steps_executed,
+              parallel.reports()[i].steps_executed);
+    EXPECT_EQ(serial.reports()[i].distinct_decisions,
+              parallel.reports()[i].distinct_decisions);
+    EXPECT_EQ(serial.reports()[i].witness_bound,
+              parallel.reports()[i].witness_bound);
+    EXPECT_EQ(serial.reports()[i].detail, parallel.reports()[i].detail);
   }
-  EXPECT_EQ(serial.aggregate.successes, parallel.aggregate.successes);
-  EXPECT_EQ(serial.aggregate.steps.mean(), parallel.aggregate.steps.mean());
-  EXPECT_EQ(serial.aggregate.witness_bound.percentile(90.0),
-            parallel.aggregate.witness_bound.percentile(90.0));
+  EXPECT_EQ(serial_agg.aggregate().successes,
+            parallel_agg.aggregate().successes);
+  EXPECT_EQ(serial_agg.aggregate().steps.mean(),
+            parallel_agg.aggregate().steps.mean());
+  EXPECT_EQ(serial_agg.aggregate().witness_bound.percentile(90.0),
+            parallel_agg.aggregate().witness_bound.percentile(90.0));
   // The rendered table (the bench-facing artifact) is bit-identical.
-  EXPECT_EQ(serial.render_success_matrix(),
-            parallel.render_success_matrix());
+  EXPECT_EQ(serial_table.render(), parallel_table.render());
 }
 
-TEST(ParallelSweepTest, Thm27MatrixIsThreadCountInvariant) {
+TEST(ExperimentRunnerTest, Thm27MatrixIsThreadCountInvariant) {
   MatrixConfig cfg;
   cfg.spec = {2, 1, 4};
   cfg.max_steps = 300'000;
-  cfg.threads = 1;
-  const auto serial = thm27_matrix(cfg);
-  cfg.threads = 8;
-  const auto parallel = thm27_matrix(cfg);
+  ExperimentRunner serial_runner = make_runner(1);
+  ExperimentRunner parallel_runner = make_runner(8);
+  const auto serial = thm27_matrix(cfg, serial_runner);
+  const auto parallel = thm27_matrix(cfg, parallel_runner);
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].i, parallel[i].i);
@@ -153,22 +193,24 @@ TEST(ParallelSweepTest, Thm27MatrixIsThreadCountInvariant) {
   }
 }
 
-TEST(ParallelSweepTest, ForEachCoversEveryIndexExactlyOnce) {
+TEST(ExperimentRunnerTest, MapCoversEveryIndexExactlyOnce) {
   for (const int threads : {1, 3, 8}) {
+    ExperimentRunner runner = make_runner(threads);
     std::vector<std::atomic<int>> hits(257);
     for (auto& h : hits) h.store(0);
-    ParallelSweep::for_each(hits.size(), threads, [&](std::size_t i) {
+    runner.run(hits.size(), "cover", [&](std::size_t i) {
       hits[i].fetch_add(1);
     });
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
   }
 }
 
-TEST(ParallelSweepTest, LowestIndexExceptionPropagates) {
+TEST(ExperimentRunnerTest, LowestIndexExceptionPropagates) {
+  ExperimentRunner runner = make_runner(8);
   std::vector<std::atomic<int>> hits(64);
   for (auto& h : hits) h.store(0);
   try {
-    ParallelSweep::for_each(hits.size(), 8, [&](std::size_t i) {
+    runner.run(hits.size(), "throwing", [&](std::size_t i) {
       hits[i].fetch_add(1);
       if (i == 7) throw std::runtime_error("cell 7");
       if (i == 40) throw std::runtime_error("cell 40");
@@ -181,12 +223,13 @@ TEST(ParallelSweepTest, LowestIndexExceptionPropagates) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(ParallelSweepTest, FailingCellPropagatesFromGridRun) {
+TEST(ExperimentRunnerTest, FailingCellPropagatesFromGridRun) {
   SweepGrid grid;
   grid.add_spec({1, 1, 3}).repeats(2).per_cell([](SweepCell& cell) {
     if (cell.index == 1) cell.config.max_steps = -1;  // contract bait
   });
-  EXPECT_THROW(ParallelSweep({4}).run(grid), ContractViolation);
+  ExperimentRunner runner = make_runner(4);
+  EXPECT_THROW(runner.run(grid, "bait", {}), ContractViolation);
 }
 
 TEST(WorkStealingPoolTest, HardwareConcurrencyFallback) {
