@@ -5,8 +5,16 @@
 // set {p1, p2} — viewed as one virtual process — is. The table prints
 // the minimal timeliness bound of each candidate on growing prefixes:
 // the singleton bounds diverge linearly with the phase index, the
-// union's bound is the constant 2. The per-prefix bound scans shard
-// across the persistent ExperimentRunner pool (--threads / --shard).
+// union's bound is the constant 2.
+//
+// The growing-prefix series is computed by incremental BoundTrackers
+// (one O(len) pass per candidate pair). EXP-F1b extends the series to
+// 64 phases and times the retired per-cut rescan
+// (min_timeliness_bound_reference, the pre-word-packed analyzer) on
+// the same grid: the bench cross-checks both series bit-for-bit and
+// records the measured speedup as annotations on the figure1 section
+// of BENCH_fig1_timeliness.json (series_wall_seconds,
+// rescan_wall_seconds, speedup_vs_rescan, rescan_match).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
@@ -45,6 +53,68 @@ void print_figure1_table(core::ExperimentRunner& runner,
   json.section("figure1", rows.size(), wall);
 }
 
+void print_series_speedup(core::ExperimentRunner& runner,
+                          core::JsonSink& json) {
+  // EXP-F1b: the same series at 64 phases (~8.3k steps). Incremental
+  // trackers pay O(len) once; the retired analyzer rescans every
+  // prefix, O(len^2) across the cuts.
+  const std::int64_t phases = 64;
+  core::WallTimer timer;
+  const auto rows = core::figure1_rows(phases, runner);
+  const double wall = timer.seconds();
+
+  // Like-for-like legacy run: generate the same schedule and rescan
+  // every prefix of the full series (both timed walls cover schedule
+  // generation plus all `phases` cuts, regardless of --shard).
+  core::WallTimer rescan_timer;
+  sched::Figure1Generator gen(3, 0, 1, 2);
+  const std::int64_t total =
+      sched::Figure1Generator::steps_through_phase(phases);
+  const sched::Schedule s = sched::generate(gen, total);
+  struct RefRow {
+    std::int64_t p1, p2, both;
+  };
+  std::vector<RefRow> ref;
+  ref.reserve(static_cast<std::size_t>(phases));
+  for (std::int64_t phase = 1; phase <= phases; ++phase) {
+    const std::int64_t cut =
+        sched::Figure1Generator::steps_through_phase(phase);
+    ref.push_back(
+        {sched::min_timeliness_bound_reference(s, ProcSet::of(0),
+                                               ProcSet::of(2), 0, cut),
+         sched::min_timeliness_bound_reference(s, ProcSet::of(1),
+                                               ProcSet::of(2), 0, cut),
+         sched::min_timeliness_bound_reference(s, ProcSet::of({0, 1}),
+                                               ProcSet::of(2), 0, cut)});
+  }
+  const double rescan_wall = rescan_timer.seconds();
+  const double speedup = wall > 0.0 ? rescan_wall / wall : 0.0;
+
+  bool match = true;
+  const std::size_t first =
+      runner.shard_range(static_cast<std::size_t>(phases)).first;
+  for (std::size_t r = 0; r < rows.size(); ++r) {  // this shard's slice
+    const RefRow& expected = ref[first + r];
+    match &= rows[r].bound_p1 == expected.p1;
+    match &= rows[r].bound_p2 == expected.p2;
+    match &= rows[r].bound_union == expected.both;
+  }
+
+  std::cout << "EXP-F1b: " << phases << "-phase series ("
+            << total << " steps), incremental trackers vs per-prefix "
+               "rescan\n"
+            << "  incremental: " << wall << " s   rescan: " << rescan_wall
+            << " s   speedup: " << speedup << "x   bounds "
+            << (match ? "bit-identical" : "MISMATCH") << "\n\n";
+  // Recorded as annotations on the figure1 section: the rescan is a
+  // deliberately-slow legacy cross-check, not a grid of its own.
+  json.annotate("series_phases", static_cast<double>(phases));
+  json.annotate("series_wall_seconds", wall);
+  json.annotate("rescan_wall_seconds", rescan_wall);
+  json.annotate("speedup_vs_rescan", speedup);
+  json.annotate("rescan_match", match ? 1.0 : 0.0);
+}
+
 void BM_Figure1Generate(benchmark::State& state) {
   const std::int64_t steps = state.range(0);
   for (auto _ : state) {
@@ -67,6 +137,39 @@ void BM_MinTimelinessBound(benchmark::State& state) {
 }
 BENCHMARK(BM_MinTimelinessBound)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
+void BM_MinTimelinessBoundReference(benchmark::State& state) {
+  const std::int64_t steps = state.range(0);
+  sched::Figure1Generator gen(3, 0, 1, 2);
+  const auto schedule = sched::generate(gen, steps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::min_timeliness_bound_reference(
+        schedule, ProcSet::of({0, 1}), ProcSet::of(2)));
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_MinTimelinessBoundReference)
+    ->Arg(1 << 12)
+    ->Arg(1 << 16)
+    ->Arg(1 << 20);
+
+void BM_BoundTrackerExtend(benchmark::State& state) {
+  // Cost of tracking the bound across growing prefixes: the whole
+  // series in one pass, amortized O(1) per step.
+  const std::int64_t steps = state.range(0);
+  sched::Figure1Generator gen(3, 0, 1, 2);
+  const auto schedule = sched::generate(gen, steps);
+  for (auto _ : state) {
+    sched::BoundTracker tracker(ProcSet::of({0, 1}), ProcSet::of(2));
+    for (std::int64_t cut = 0; cut < steps; cut += 1024) {
+      tracker.extend(schedule, cut);
+    }
+    tracker.extend(schedule);
+    benchmark::DoNotOptimize(tracker.bound());
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_BoundTrackerExtend)->Arg(1 << 16)->Arg(1 << 20);
+
 void BM_SystemMembershipBestPair(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   sched::UniformRandomGenerator gen(n, 42);
@@ -76,7 +179,26 @@ void BM_SystemMembershipBestPair(benchmark::State& state) {
     benchmark::DoNotOptimize(membership.best_pair(2, n - 1));
   }
 }
-BENCHMARK(BM_SystemMembershipBestPair)->Arg(4)->Arg(6)->Arg(8);
+BENCHMARK(BM_SystemMembershipBestPair)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16);
+
+void BM_RankedPairScanCensus(benchmark::State& state) {
+  // Exhaustive membership census at large n: C(n,2) x C(n,n-1) pairs
+  // with cap pruning over one shared packed prefix.
+  const int n = static_cast<int>(state.range(0));
+  sched::UniformRandomGenerator gen(n, 42);
+  const auto schedule = sched::generate(gen, 20'000);
+  const sched::PackedSchedule packed(schedule);
+  const sched::RankedPairScan scan(packed, 2, n - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan.count_members(3));
+  }
+}
+BENCHMARK(BM_RankedPairScanCensus)->Arg(16)->Arg(24);
 
 }  // namespace
 
@@ -86,6 +208,7 @@ int main(int argc, char** argv) {
   core::ExperimentRunner runner(options);
   core::JsonSink json = runner.json_sink();
   print_figure1_table(runner, json);
+  print_series_speedup(runner, json);
   json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

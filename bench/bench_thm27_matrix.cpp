@@ -11,7 +11,9 @@
 // work-stealing pool with bit-identical cell results at any N,
 // `--shard=K/N` slices the cell space across processes, and `--json`
 // records the per-matrix trajectory (cells/wall/throughput plus
-// per-cell rows) in BENCH_thm27_matrix.json.
+// per-cell rows) in BENCH_thm27_matrix.json. Each cell's reported
+// witness_bound is measured on the executed schedule by the
+// word-packed analyzer (sched::min_timeliness_bound).
 #include <benchmark/benchmark.h>
 
 #include <iostream>

@@ -2,10 +2,12 @@
 // expressive than per-process timeliness.
 //
 // Builds the paper's schedule S = [(p1 q)^i (p2 q)^i], prints a prefix,
-// and measures minimal timeliness bounds per growing prefix: {p1} and
-// {p2} diverge (each is starved for i consecutive (x q) pairs in phase
-// i), while the virtual process {p1, p2} stays timely with bound 2 —
-// the exact phenomenon of the paper's Figure 1.
+// and measures minimal timeliness bounds per growing prefix (one
+// incremental sched::BoundTracker pass per candidate, via
+// core::figure1_rows): {p1} and {p2} diverge (each is starved for i
+// consecutive (x q) pairs in phase i), while the virtual process
+// {p1, p2} stays timely with bound 2 — the exact phenomenon of the
+// paper's Figure 1.
 #include <iostream>
 
 #include "src/core/experiments.h"

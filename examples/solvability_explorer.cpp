@@ -6,10 +6,17 @@
 //   solvability_explorer t k n            — matrix for one spec
 //   solvability_explorer t k n i j        — one query, with the
 //                                           matching-system hint
+//   solvability_explorer scan n i j [cap] — empirical S^i_{j,n}
+//                                           membership census at large
+//                                           n (up to 24) via the
+//                                           batched RankedPairScan, on
+//                                           a witness-enforced and an
+//                                           i-subset-starver schedule
 // `--threads=N` / `--shard=K/N` (stripped before the positional args)
-// shard the empirical matrix cells across the ExperimentRunner's
-// persistent pool.
+// shard the empirical matrix cells — and the scan's P-rank chunks —
+// across the ExperimentRunner's persistent pool.
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "src/core/experiments.h"
@@ -50,6 +57,54 @@ int main(int argc, char** argv) {
   const auto options =
       core::parse_runner_options(&argc, argv, "solvability_explorer");
 
+  if (argc >= 2 && std::strcmp(argv[1], "scan") == 0) {
+    if (argc < 5) {
+      std::cout << "usage: solvability_explorer scan n i j [cap]\n";
+      return 1;
+    }
+    const int n = std::atoi(argv[2]);
+    const int i = std::atoi(argv[3]);
+    const int j = std::atoi(argv[4]);
+    const std::int64_t cap = argc > 5 ? std::atoll(argv[5]) : 3;
+    if (n < 2 || n > kMaxProcs || i < 1 || i > n || j < 1 || j > n ||
+        cap < 1) {
+      std::cout << "usage: solvability_explorer scan n i j [cap]\n"
+                   "  with 2 <= n <= " << kMaxProcs
+                << ", 1 <= i, j <= n, cap >= 1\n";
+      return 1;
+    }
+    core::ExperimentRunner runner(options);
+    std::cout << "S^" << i << "_{" << j << "," << n
+              << "} membership census (cap " << cap
+              << ", 40k-step prefixes, C(" << n << "," << i << ") x C("
+              << n << "," << j << ") pairs)\n\n";
+    for (const bool enforced : {true, false}) {
+      if (!enforced && i >= n) {
+        std::cout << "(skipping the starver schedule: i == n leaves no "
+                     "proper subset to starve)\n";
+        continue;
+      }
+      core::PairScanConfig cfg;
+      cfg.n = n;
+      cfg.i = i;
+      cfg.j = j;
+      cfg.bound_cap = cap;
+      cfg.enforced_bound = enforced ? cap : 0;
+      const auto result = core::ranked_pair_scan(cfg, runner);
+      std::cout << (enforced ? "enforced witness"
+                             : std::to_string(i) + "-subset starver")
+                << ": " << result.members << "/" << result.pairs
+                << " pairs certify membership";
+      if (result.found) {
+        std::cout << "; first " << result.first.timely_set.to_string()
+                  << " vs " << result.first.observed_set.to_string()
+                  << " at bound " << result.first.bound;
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
   if (argc == 6) {
     const core::AgreementSpec spec{std::atoi(argv[1]), std::atoi(argv[2]),
                                    std::atoi(argv[3])};
@@ -87,7 +142,8 @@ int main(int argc, char** argv) {
                            core::AgreementSpec{4, 3, 8}}) {
     print_predicate_matrix(spec);
   }
-  std::cout << "Run with arguments `t k n` for the empirical matrix, or "
-               "`t k n i j` for one query.\n";
+  std::cout << "Run with arguments `t k n` for the empirical matrix, "
+               "`t k n i j` for one query, or `scan n i j [cap]` for a "
+               "large-n membership census.\n";
   return 0;
 }

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Cross-checks the docs pages against the repo.
+
+Usage: check_docs.py [repo_root]
+
+Three checks, all fatal on failure:
+  1. Every relative markdown link in docs/*.md and README.md resolves
+     to an existing file (http(s) links, pure #anchors, and links that
+     escape the repo root — e.g. the CI badge's ../../actions URL —
+     are skipped).
+  2. Every `bench_<name>` mentioned in docs/EXPERIMENTS.md exists as
+     bench/<name>.cpp (CMake globs bench/*.cpp into one target per
+     file, so file presence == target presence).
+  3. Every shipped bench binary (bench/*.cpp) is covered by
+     docs/EXPERIMENTS.md.
+"""
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BENCH_RE = re.compile(r"\bbench_[a-z0-9_]+\b")
+
+
+def check_links(root):
+    failures = []
+    pages = sorted((root / "docs").glob("*.md")) + [root / "README.md"]
+    checked = 0
+    for page in pages:
+        if not page.exists():
+            failures.append(f"{page}: page itself is missing")
+            continue
+        for link in LINK_RE.findall(page.read_text()):
+            if link.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = (page.parent / link.split("#")[0]).resolve()
+            if not target.is_relative_to(root.resolve()):
+                continue  # escapes the repo (e.g. the CI badge URL)
+            checked += 1
+            if not target.exists():
+                failures.append(
+                    f"{page.relative_to(root)}: broken link -> {link}")
+    print(f"links: {checked} internal links checked, "
+          f"{len(failures)} broken")
+    return failures
+
+
+def check_benches(root):
+    failures = []
+    experiments = root / "docs" / "EXPERIMENTS.md"
+    mentioned = set(BENCH_RE.findall(experiments.read_text()))
+    shipped = {p.stem for p in (root / "bench").glob("*.cpp")}
+    for name in sorted(mentioned - shipped):
+        failures.append(
+            f"EXPERIMENTS.md names {name}, but bench/{name}.cpp "
+            f"does not exist")
+    for name in sorted(shipped - mentioned):
+        failures.append(
+            f"bench/{name}.cpp ships, but EXPERIMENTS.md never "
+            f"mentions {name}")
+    print(f"benches: {len(shipped)} shipped, {len(mentioned)} "
+          f"documented, {len(failures)} mismatches")
+    return failures
+
+
+def main():
+    default_root = pathlib.Path(__file__).resolve().parent.parent
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else default_root
+    failures = check_links(root) + check_benches(root)
+    for failure in failures:
+        print(f"FAIL {failure}")
+    if failures:
+        raise SystemExit(f"{len(failures)} docs check(s) failed")
+    print("docs are consistent with the repo")
+
+
+if __name__ == "__main__":
+    main()

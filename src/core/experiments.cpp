@@ -1,5 +1,6 @@
 #include "src/core/experiments.h"
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 
@@ -27,29 +28,92 @@ std::vector<Figure1Row> figure1_rows(std::int64_t max_phase,
       sched::Figure1Generator::steps_through_phase(max_phase);
   const sched::Schedule s = sched::generate(gen, total);
 
-  // The per-prefix bound scans are independent (the schedule is shared
-  // read-only), so the phases shard across the runner's pool.
-  return runner.map<Figure1Row>(
-      static_cast<std::size_t>(max_phase), [&](std::size_t i) {
-        const std::int64_t phase = static_cast<std::int64_t>(i) + 1;
-        const std::int64_t cut =
-            sched::Figure1Generator::steps_through_phase(phase);
-        Figure1Row row;
-        row.phase = phase;
-        row.prefix_len = cut;
-        row.bound_p1 = sched::min_timeliness_bound(
-            s, ProcSet::of(p1), ProcSet::of(q), 0, cut);
-        row.bound_p2 = sched::min_timeliness_bound(
-            s, ProcSet::of(p2), ProcSet::of(q), 0, cut);
-        row.bound_union = sched::min_timeliness_bound(
-            s, ProcSet::of({p1, p2}), ProcSet::of(q), 0, cut);
-        return row;
-      });
+  // One incremental pass per candidate pair: each BoundTracker extends
+  // to the next phase boundary in O(Δ), so the whole growing-prefix
+  // series costs O(total) instead of the O(total^2) of rescanning
+  // every cut. Rows are pure functions of the phase index, so slicing
+  // the series preserves the runner's shard-union invariant.
+  sched::BoundTracker tracker_p1(ProcSet::of(p1), ProcSet::of(q));
+  sched::BoundTracker tracker_p2(ProcSet::of(p2), ProcSet::of(q));
+  sched::BoundTracker tracker_union(ProcSet::of({p1, p2}), ProcSet::of(q));
+  std::vector<Figure1Row> all;
+  all.reserve(static_cast<std::size_t>(max_phase));
+  for (std::int64_t phase = 1; phase <= max_phase; ++phase) {
+    const std::int64_t cut =
+        sched::Figure1Generator::steps_through_phase(phase);
+    tracker_p1.extend(s, cut);
+    tracker_p2.extend(s, cut);
+    tracker_union.extend(s, cut);
+    Figure1Row row;
+    row.phase = phase;
+    row.prefix_len = cut;
+    row.bound_p1 = tracker_p1.bound();
+    row.bound_p2 = tracker_p2.bound();
+    row.bound_union = tracker_union.bound();
+    all.push_back(row);
+  }
+  const auto [begin, end] =
+      runner.shard_range(static_cast<std::size_t>(max_phase));
+  return std::vector<Figure1Row>(
+      all.begin() + static_cast<std::ptrdiff_t>(begin),
+      all.begin() + static_cast<std::ptrdiff_t>(end));
 }
 
 std::vector<Figure1Row> figure1_rows(std::int64_t max_phase) {
   ExperimentRunner serial;
   return figure1_rows(max_phase, serial);
+}
+
+PairScanResult ranked_pair_scan(const PairScanConfig& cfg,
+                                ExperimentRunner& runner) {
+  SETLIB_EXPECTS(2 <= cfg.n && cfg.n <= kMaxProcs);
+  SETLIB_EXPECTS(1 <= cfg.i && cfg.i <= cfg.n);
+  SETLIB_EXPECTS(1 <= cfg.j && cfg.j <= cfg.n);
+  SETLIB_EXPECTS(cfg.len >= 0);
+  SETLIB_EXPECTS(cfg.bound_cap >= 1);
+  // The starver family rotates proper i-subsets; i == n has nothing
+  // to rotate (the universe cannot be starved against itself).
+  SETLIB_EXPECTS(cfg.enforced_bound > 0 || cfg.i < cfg.n);
+
+  std::unique_ptr<sched::ScheduleGenerator> gen;
+  if (cfg.enforced_bound > 0) {
+    gen = sched::EnforcedGenerator::single(
+        std::make_unique<sched::UniformRandomGenerator>(cfg.n, cfg.seed),
+        sched::TimelinessConstraint(ProcSet::range(0, cfg.i),
+                                    ProcSet::range(0, cfg.j),
+                                    cfg.enforced_bound));
+  } else {
+    gen = std::make_unique<sched::KSubsetStarverGenerator>(
+        cfg.n, ProcSet::universe(cfg.n), cfg.i, 64);
+  }
+  const sched::Schedule s = sched::generate(*gen, cfg.len);
+  const sched::PackedSchedule packed(s);
+  const sched::RankedPairScan scan(packed, cfg.i, cfg.j);
+
+  // Fixed-size P-rank chunks: the chunk space (not the thread count)
+  // defines the work decomposition, so counts are bit-identical at any
+  // pool width and shards slice the chunk space contiguously.
+  constexpr std::int64_t kChunk = 8;
+  const std::int64_t chunks = (scan.p_count() + kChunk - 1) / kChunk;
+  using Chunk = sched::RankedPairScan::MemberCount;
+  const std::vector<Chunk> parts = runner.map<Chunk>(
+      static_cast<std::size_t>(chunks), [&](std::size_t c) {
+        const std::int64_t begin = static_cast<std::int64_t>(c) * kChunk;
+        const std::int64_t end =
+            std::min(begin + kChunk, scan.p_count());
+        return scan.count_members(cfg.bound_cap, begin, end);
+      });
+
+  PairScanResult out;
+  for (const Chunk& part : parts) {  // rank order: first = earliest
+    out.pairs += part.pairs;
+    out.members += part.members;
+    if (!out.found && part.first) {
+      out.found = true;
+      out.first = *part.first;
+    }
+  }
+  return out;
 }
 
 DetectorRunResult run_detector_convergence(const DetectorRunConfig& cfg) {

@@ -11,6 +11,7 @@
 #include "src/core/engine.h"
 #include "src/core/runner.h"
 #include "src/core/spec.h"
+#include "src/sched/analyzer.h"
 #include "src/util/procset.h"
 
 namespace setlib::core {
@@ -27,13 +28,49 @@ struct Figure1Row {
   std::int64_t bound_union = 0;
 };
 
-/// Rows for phases 1..max_phase; the per-prefix bound scans run
-/// through the runner's pool and respect its shard (results are
+/// Rows for phases 1..max_phase, computed by one incremental
+/// sched::BoundTracker pass per candidate pair (O(total steps) for the
+/// whole series) and sliced to the runner's shard (results are
 /// thread-count independent; each row carries its own phase label).
 std::vector<Figure1Row> figure1_rows(std::int64_t max_phase,
                                      ExperimentRunner& runner);
 /// Serial, unsharded convenience overload.
 std::vector<Figure1Row> figure1_rows(std::int64_t max_phase);
+
+// ---------------------------------------------------------------------
+// EXP-SCAN: large-n system membership via the batched pair scan. One
+// schedule, all C(n,i) x C(n,j) pairs: the sched::RankedPairScan
+// P-rank space is chunked and driven through the runner's pool (and
+// shard), so an n = 24 membership census parallelizes without losing
+// the bit-identical-at-any-thread-count contract.
+struct PairScanConfig {
+  int n = 24;
+  int i = 2;                         // |P|
+  int j = 23;                        // |Q|
+  std::int64_t len = 40'000;         // schedule prefix length
+  std::uint64_t seed = 11;
+  std::int64_t bound_cap = 3;        // membership cap for the census
+  /// Schedule family: an enforced witness (range(0,i) timely w.r.t.
+  /// range(0,j) at `enforced_bound`) over uniform noise, or — with
+  /// enforced_bound = 0 — a rotating i-subset starver, which keeps
+  /// every i-set starved for growing stretches (no witness expected).
+  /// The starver family requires i < n (proper subsets rotate).
+  std::int64_t enforced_bound = 3;
+};
+
+struct PairScanResult {
+  std::int64_t pairs = 0;    // (P, Q) pairs scanned on this shard
+  std::int64_t members = 0;  // pairs with bound <= bound_cap
+  bool found = false;        // some member exists on this shard
+  sched::TimelyPair first;   // earliest member in rank order, if found
+};
+
+/// Runs the census through the runner: the P-rank space is split into
+/// fixed-size chunks (independent of thread count), runner.map scans
+/// this shard's chunks on the pool, and the per-chunk counts fold in
+/// rank order. Shard unions sum to the unsharded census.
+PairScanResult ranked_pair_scan(const PairScanConfig& cfg,
+                                ExperimentRunner& runner);
 
 // ---------------------------------------------------------------------
 // EXP-F2: Figure 2 detector convergence under the friendly family.

@@ -1,14 +1,85 @@
 #include "src/sched/analyzer.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "src/util/assert.h"
 
 namespace setlib::sched {
 
+namespace {
+
+// Shared window-walk state: P-bits delimit windows, Q-bits count inside
+// them. A step whose pid is in both P and Q is a window boundary (the
+// P-reset wins, matching the reference scan), which falls out of the
+// mask arithmetic: boundary positions are excluded from every counted
+// span.
+struct WindowScan {
+  std::int64_t current = 0;  // Q-steps since the last P-step
+  std::int64_t max_q = 0;    // largest P-free-window Q-count seen
+
+  // Consume one packed word (pw: P-bits, qw: Q-bits).
+  void word(std::uint64_t pw, std::uint64_t qw) noexcept {
+    if (pw == 0) {
+      current += std::popcount(qw);
+      if (current > max_q) max_q = current;
+      return;
+    }
+    int prev = 0;
+    do {
+      const int b = std::countr_zero(pw);
+      current += std::popcount(qw & word_range_mask(prev, b));
+      if (current > max_q) max_q = current;
+      current = 0;
+      prev = b + 1;
+      pw &= pw - 1;
+    } while (pw != 0);
+    current = std::popcount(qw & ~low_word_mask(prev));
+    if (current > max_q) max_q = current;
+  }
+};
+
+// Packs steps [from, to) of `steps` into (P, Q) words on the fly and
+// feeds them to the window walk, continuing whatever state `scan`
+// carries. Branch-free packing: each step contributes one mask-test
+// bit per side.
+void scan_step_range(const std::vector<Pid>& steps, std::uint64_t pmask,
+                     std::uint64_t qmask, std::int64_t from,
+                     std::int64_t to, WindowScan& scan) {
+  std::int64_t idx = from;
+  while (idx < to) {
+    const std::int64_t block_end = std::min(to, idx + kBitsPerWord);
+    std::uint64_t pw = 0;
+    std::uint64_t qw = 0;
+    for (std::int64_t t = idx; t < block_end; ++t) {
+      const int pid = steps[static_cast<std::size_t>(t)];
+      const std::uint64_t bit = std::uint64_t{1} << (t - idx);
+      pw |= ((pmask >> pid) & 1u) * bit;
+      qw |= ((qmask >> pid) & 1u) * bit;
+    }
+    scan.word(pw, qw);
+    idx = block_end;
+  }
+}
+
+}  // namespace
+
 std::int64_t min_timeliness_bound(const Schedule& s, ProcSet p, ProcSet q,
                                   std::int64_t from, std::int64_t to) {
+  SETLIB_EXPECTS(0 <= from && from <= to && to <= s.size());
+  WindowScan scan;
+  scan_step_range(s.steps(), p.mask(), q.mask(), from, to, scan);
+  return scan.max_q + 1;
+}
+
+std::int64_t min_timeliness_bound(const Schedule& s, ProcSet p, ProcSet q) {
+  return min_timeliness_bound(s, p, q, 0, s.size());
+}
+
+std::int64_t min_timeliness_bound_reference(const Schedule& s, ProcSet p,
+                                            ProcSet q, std::int64_t from,
+                                            std::int64_t to) {
   SETLIB_EXPECTS(0 <= from && from <= to && to <= s.size());
   // Scan windows delimited by P-steps; the largest Q-count in a P-free
   // window w satisfies: every window with count(w)+1 Q-steps must span a
@@ -27,8 +98,9 @@ std::int64_t min_timeliness_bound(const Schedule& s, ProcSet p, ProcSet q,
   return max_q_in_window + 1;
 }
 
-std::int64_t min_timeliness_bound(const Schedule& s, ProcSet p, ProcSet q) {
-  return min_timeliness_bound(s, p, q, 0, s.size());
+std::int64_t min_timeliness_bound_reference(const Schedule& s, ProcSet p,
+                                            ProcSet q) {
+  return min_timeliness_bound_reference(s, p, q, 0, s.size());
 }
 
 bool is_timely(const Schedule& s, ProcSet p, ProcSet q, std::int64_t bound) {
@@ -40,60 +112,204 @@ std::vector<std::int64_t> bound_series(const Schedule& s, ProcSet p, ProcSet q,
                                        const std::vector<std::int64_t>& cuts) {
   std::vector<std::int64_t> out;
   out.reserve(cuts.size());
-  for (std::int64_t cut : cuts) {
-    SETLIB_EXPECTS(cut >= 0 && cut <= s.size());
-    out.push_back(min_timeliness_bound(s, p, q, 0, cut));
+  const bool sorted = std::is_sorted(cuts.begin(), cuts.end());
+  if (sorted) {
+    BoundTracker tracker(p, q);
+    for (std::int64_t cut : cuts) {
+      SETLIB_EXPECTS(cut >= 0 && cut <= s.size());
+      tracker.extend(s, cut);
+      out.push_back(tracker.bound());
+    }
+  } else {
+    for (std::int64_t cut : cuts) {
+      SETLIB_EXPECTS(cut >= 0 && cut <= s.size());
+      out.push_back(min_timeliness_bound(s, p, q, 0, cut));
+    }
   }
   return out;
 }
 
-SystemMembership::SystemMembership(const Schedule& s)
-    : n_(s.n()), len_(s.size()), steps_(s.steps()) {
-  prefix_.assign(static_cast<std::size_t>(n_),
-                 std::vector<std::int64_t>(static_cast<std::size_t>(len_) + 1,
-                                           0));
+BoundTracker::BoundTracker(ProcSet p, ProcSet q) noexcept : p_(p), q_(q) {}
+
+void BoundTracker::step(Pid pid) noexcept {
+  if (p_.mask() >> pid & 1u) {
+    current_ = 0;
+  } else if (q_.mask() >> pid & 1u) {
+    ++current_;
+    if (current_ > max_q_) max_q_ = current_;
+  }
+  ++position_;
+}
+
+void BoundTracker::extend(const Schedule& s, std::int64_t upto) {
+  SETLIB_EXPECTS(position_ <= upto && upto <= s.size());
+  WindowScan scan{current_, max_q_};
+  scan_step_range(s.steps(), p_.mask(), q_.mask(), position_, upto, scan);
+  current_ = scan.current;
+  max_q_ = scan.max_q;
+  position_ = upto;
+}
+
+PackedSchedule::PackedSchedule(const Schedule& s)
+    : n_(s.n()),
+      len_(s.size()),
+      words_((len_ + kBitsPerWord - 1) / kBitsPerWord) {
+  bits_.assign(static_cast<std::size_t>(n_) *
+                   static_cast<std::size_t>(words_),
+               0);
+  const std::vector<Pid>& steps = s.steps();
   for (std::int64_t t = 0; t < len_; ++t) {
-    for (Pid p = 0; p < n_; ++p) {
-      prefix_[static_cast<std::size_t>(p)][static_cast<std::size_t>(t) + 1] =
-          prefix_[static_cast<std::size_t>(p)][static_cast<std::size_t>(t)] +
-          (steps_[static_cast<std::size_t>(t)] == p ? 1 : 0);
-    }
+    const Pid p = steps[static_cast<std::size_t>(t)];
+    bits_[static_cast<std::size_t>(p) * static_cast<std::size_t>(words_) +
+          static_cast<std::size_t>(t / kBitsPerWord)] |=
+        std::uint64_t{1} << (t % kBitsPerWord);
   }
 }
 
-std::int64_t SystemMembership::bound_for(ProcSet p, ProcSet q) const {
-  std::int64_t max_q = 0;
-  std::int64_t window_start = 0;
-  auto q_count = [&](std::int64_t a, std::int64_t b) {
-    std::int64_t c = 0;
-    for (Pid x : q.to_vector()) {
-      c += prefix_[static_cast<std::size_t>(x)][static_cast<std::size_t>(b)] -
-           prefix_[static_cast<std::size_t>(x)][static_cast<std::size_t>(a)];
+const std::uint64_t* PackedSchedule::column(Pid p) const {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  return bits_.data() +
+         static_cast<std::size_t>(p) * static_cast<std::size_t>(words_);
+}
+
+void PackedSchedule::or_columns(ProcSet s,
+                                std::vector<std::uint64_t>& out) const {
+  out.assign(static_cast<std::size_t>(words_), 0);
+  (s & ProcSet::universe(n_)).for_each([&](Pid p) {
+    const std::uint64_t* col = column(p);
+    for (std::int64_t w = 0; w < words_; ++w) {
+      out[static_cast<std::size_t>(w)] |= col[static_cast<std::size_t>(w)];
     }
-    return c;
-  };
-  for (std::int64_t t = 0; t < len_; ++t) {
-    if (p.contains(steps_[static_cast<std::size_t>(t)])) {
-      max_q = std::max(max_q, q_count(window_start, t));
-      window_start = t + 1;
+  });
+}
+
+std::int64_t PackedSchedule::bound_for(ProcSet p, ProcSet q) const {
+  const ProcSet pu = p & ProcSet::universe(n_);
+  const ProcSet qu = q & ProcSet::universe(n_);
+  WindowScan scan;
+  for (std::int64_t w = 0; w < words_; ++w) {
+    std::uint64_t pw = 0;
+    std::uint64_t qw = 0;
+    pu.for_each(
+        [&](Pid x) { pw |= column(x)[static_cast<std::size_t>(w)]; });
+    qu.for_each(
+        [&](Pid x) { qw |= column(x)[static_cast<std::size_t>(w)]; });
+    scan.word(pw, qw);
+  }
+  return scan.max_q + 1;
+}
+
+RankedPairScan::RankedPairScan(const PackedSchedule& packed, int i, int j)
+    : packed_(&packed),
+      i_(i),
+      j_(j),
+      p_ranker_(packed.n(), i),
+      q_ranker_(packed.n(), j) {
+  SETLIB_EXPECTS(1 <= i && i <= packed.n());
+  SETLIB_EXPECTS(1 <= j && j <= packed.n());
+}
+
+std::int64_t RankedPairScan::p_count() const noexcept {
+  return p_ranker_.count();
+}
+
+std::int64_t RankedPairScan::q_count() const noexcept {
+  return q_ranker_.count();
+}
+
+RankedPairScan::ScanOutcome RankedPairScan::scan(std::int64_t p_begin,
+                                                 std::int64_t p_end,
+                                                 std::int64_t bound_cap,
+                                                 Mode mode) const {
+  SETLIB_EXPECTS(0 <= p_begin && p_begin <= p_end &&
+                 p_end <= p_ranker_.count());
+  const std::int64_t words = packed_->words();
+  ScanOutcome out;
+  // Q-counts at or above prune_q cannot improve the outcome, so an
+  // observer scan aborts the moment one P-free window reaches it. For
+  // the exhaustive best-pair mode the cap tightens as the best bound
+  // drops.
+  std::int64_t prune_q = mode == Mode::kBest
+                             ? std::numeric_limits<std::int64_t>::max()
+                             : bound_cap;
+  std::vector<std::uint64_t> pwords;
+  for (std::int64_t pr = p_begin; pr < p_end; ++pr) {
+    const ProcSet p = p_ranker_.unrank(pr);
+    packed_->or_columns(p, pwords);  // shared by every observer below
+    const std::int64_t q_total = q_ranker_.count();
+    for (std::int64_t qr = 0; qr < q_total; ++qr) {
+      const ProcSet q = q_ranker_.unrank(qr);
+      ++out.pairs;
+      // Fused Q-column OR + window walk, aborted at the prune cap.
+      WindowScan window;
+      bool pruned = false;
+      for (std::int64_t w = 0; w < words && !pruned; ++w) {
+        std::uint64_t qw = 0;
+        q.for_each([&](Pid x) {
+          qw |= packed_->column(x)[static_cast<std::size_t>(w)];
+        });
+        window.word(pwords[static_cast<std::size_t>(w)], qw);
+        pruned = window.max_q >= prune_q;
+      }
+      if (pruned) continue;
+      const std::int64_t bound = window.max_q + 1;
+      switch (mode) {
+        case Mode::kBest:
+          if (!out.best || bound < out.best->bound) {
+            out.best = TimelyPair{p, q, bound};
+            // Only strictly smaller bounds matter from here on.
+            prune_q = bound - 1;
+          }
+          break;
+        case Mode::kWitness:
+          out.best = TimelyPair{p, q, bound};
+          out.members = 1;
+          return out;
+        case Mode::kCount:
+          ++out.members;
+          if (!out.best) out.best = TimelyPair{p, q, bound};
+          break;
+      }
     }
   }
-  max_q = std::max(max_q, q_count(window_start, len_));
-  return max_q + 1;
+  return out;
+}
+
+TimelyPair RankedPairScan::best_pair(std::int64_t p_begin,
+                                     std::int64_t p_end) const {
+  const ScanOutcome out = scan(p_begin, p_end, 0, Mode::kBest);
+  if (out.best) return *out.best;
+  return TimelyPair{ProcSet(), ProcSet(),
+                    std::numeric_limits<std::int64_t>::max()};
+}
+
+std::optional<TimelyPair> RankedPairScan::find_witness(
+    std::int64_t bound_cap, std::int64_t p_begin, std::int64_t p_end) const {
+  SETLIB_EXPECTS(bound_cap >= 1);
+  // A pair is a witness iff its worst window stays below the cap:
+  // max_q <= cap - 1, i.e. the scan finishes without reaching prune_q
+  // = cap.
+  return scan(p_begin, p_end, bound_cap, Mode::kWitness).best;
+}
+
+RankedPairScan::MemberCount RankedPairScan::count_members(
+    std::int64_t bound_cap, std::int64_t p_begin, std::int64_t p_end) const {
+  SETLIB_EXPECTS(bound_cap >= 1);
+  const ScanOutcome out = scan(p_begin, p_end, bound_cap, Mode::kCount);
+  return MemberCount{out.pairs, out.members, out.best};
+}
+
+SystemMembership::SystemMembership(const Schedule& s)
+    : n_(s.n()), len_(s.size()), packed_(s) {}
+
+std::int64_t SystemMembership::bound_for(ProcSet p, ProcSet q) const {
+  return packed_.bound_for(p, q);
 }
 
 TimelyPair SystemMembership::best_pair(int i, int j) const {
   SETLIB_EXPECTS(1 <= i && i <= n_);
   SETLIB_EXPECTS(1 <= j && j <= n_);
-  TimelyPair best{ProcSet(), ProcSet(),
-                  std::numeric_limits<std::int64_t>::max()};
-  for (ProcSet p : k_subsets(n_, i)) {
-    for (ProcSet q : k_subsets(n_, j)) {
-      const std::int64_t b = bound_for(p, q);
-      if (b < best.bound) best = TimelyPair{p, q, b};
-    }
-  }
-  return best;
+  return RankedPairScan(packed_, i, j).best_pair();
 }
 
 std::optional<TimelyPair> SystemMembership::find_witness(
@@ -101,13 +317,7 @@ std::optional<TimelyPair> SystemMembership::find_witness(
   SETLIB_EXPECTS(1 <= i && i <= n_);
   SETLIB_EXPECTS(1 <= j && j <= n_);
   SETLIB_EXPECTS(bound_cap >= 1);
-  for (ProcSet p : k_subsets(n_, i)) {
-    for (ProcSet q : k_subsets(n_, j)) {
-      const std::int64_t b = bound_for(p, q);
-      if (b <= bound_cap) return TimelyPair{p, q, b};
-    }
-  }
-  return std::nullopt;
+  return RankedPairScan(packed_, i, j).find_witness(bound_cap);
 }
 
 }  // namespace setlib::sched

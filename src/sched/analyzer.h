@@ -9,10 +9,30 @@
 //   (a) track the bound across growing prefixes (Figure 1 harness), or
 //   (b) check the bound over a suffix, after stabilization.
 //
-// SystemMembership implements "S in S^i_{j,n}" on a prefix: does some
-// (P, Q) pair with |P| = i, |Q| = j satisfy the bound? (Observation 5's
-// degenerate case P = Q makes any schedule a member when i == j, which
-// the paper uses to identify S^i_{i,n} with the asynchronous system.)
+// The analysis core is word-packed: PackedSchedule encodes each step's
+// Pid as a bit column (64 steps per word, one timeline per process), so
+// a P-free-window scan is branch-free word operations — OR the columns
+// of P and Q, then split each word at its P-bits with mask/popcount.
+// Three surfaces build on it:
+//   - min_timeliness_bound / bound_series: one-shot and per-prefix
+//     bounds. BoundTracker extends a bound incrementally by ΔS steps in
+//     O(Δ), so a growing-prefix series costs O(len) total instead of
+//     the O(len^2) of recomputing each cut from scratch.
+//   - SystemMembership implements "S in S^i_{j,n}" on a prefix: does
+//     some (P, Q) pair with |P| = i, |Q| = j satisfy the bound?
+//     (Observation 5's degenerate case P = Q makes any schedule a
+//     member when i == j, which the paper uses to identify S^i_{i,n}
+//     with the asynchronous system.)
+//   - RankedPairScan batches all C(n,i) x C(n,j) pairs through a
+//     shared scan: each P's packed timeline is OR'd once and reused by
+//     every observer set, a bound cap aborts an observer as soon as
+//     one window already exceeds it, and enumeration follows
+//     SubsetRanker (combinadic) order so results — including argmin
+//     tie-breaks — are identical to the exhaustive nested loops.
+//
+// min_timeliness_bound_reference is the original per-step scan, kept
+// as the executable specification: the randomized equivalence tests
+// (and the bench speedup sections) diff the packed paths against it.
 #ifndef SETLIB_SCHED_ANALYZER_H
 #define SETLIB_SCHED_ANALYZER_H
 
@@ -32,14 +52,93 @@ std::int64_t min_timeliness_bound(const Schedule& s, ProcSet p, ProcSet q,
                                   std::int64_t from, std::int64_t to);
 std::int64_t min_timeliness_bound(const Schedule& s, ProcSet p, ProcSet q);
 
+/// The pre-word-packed implementation (one branchy pass per step),
+/// retained as the executable spec for differential testing and the
+/// speedup baselines. Bit-identical to min_timeliness_bound.
+std::int64_t min_timeliness_bound_reference(const Schedule& s, ProcSet p,
+                                            ProcSet q, std::int64_t from,
+                                            std::int64_t to);
+std::int64_t min_timeliness_bound_reference(const Schedule& s, ProcSet p,
+                                            ProcSet q);
+
 /// Definition 1 on the prefix: is P timely w.r.t. Q with the given bound?
 bool is_timely(const Schedule& s, ProcSet p, ProcSet q, std::int64_t bound);
 
 /// Per-phase bound series: bounds of growing prefixes cut at the given
 /// offsets. Used by the Figure 1 harness to show divergence vs.
-/// boundedness.
+/// boundedness. Nondecreasing cuts (the usual case) are served by one
+/// incremental BoundTracker pass — O(len + cuts) total; out-of-order
+/// cuts fall back to independent per-cut scans.
 std::vector<std::int64_t> bound_series(const Schedule& s, ProcSet p, ProcSet q,
                                        const std::vector<std::int64_t>& cuts);
+
+/// Incremental Definition 1 state for one (P, Q) pair: feed schedule
+/// steps as they are produced and read the minimal bound of the prefix
+/// consumed so far at any moment. extend() by ΔS steps costs O(Δ) —
+/// the bound of every growing prefix of a length-L schedule costs O(L)
+/// total, where recomputation costs O(L^2).
+class BoundTracker {
+ public:
+  BoundTracker(ProcSet p, ProcSet q) noexcept;
+
+  ProcSet timely_set() const noexcept { return p_; }
+  ProcSet observed_set() const noexcept { return q_; }
+
+  /// Steps consumed so far.
+  std::int64_t position() const noexcept { return position_; }
+
+  /// Minimal timeliness bound of the consumed prefix; equals
+  /// min_timeliness_bound(s, p, q, 0, position()).
+  std::int64_t bound() const noexcept { return max_q_ + 1; }
+
+  /// Feed one step.
+  void step(Pid pid) noexcept;
+
+  /// Consume s's steps [position(), upto) — requires position() <= upto
+  /// <= s.size() and that the already-consumed prefix came from the
+  /// same step sequence. The overload without `upto` consumes to the
+  /// end.
+  void extend(const Schedule& s, std::int64_t upto);
+  void extend(const Schedule& s) { extend(s, s.size()); }
+
+ private:
+  ProcSet p_;
+  ProcSet q_;
+  std::int64_t position_ = 0;
+  std::int64_t current_ = 0;  // Q-steps since the last P-step
+  std::int64_t max_q_ = 0;    // largest P-free-window Q-count seen
+};
+
+/// Word-packed step representation: one bit timeline per process, 64
+/// steps per word. Column p has bit t set iff step t is taken by p.
+/// Built once, a PackedSchedule serves every pair scan over the same
+/// prefix (SystemMembership, RankedPairScan) with pure word ops.
+class PackedSchedule {
+ public:
+  explicit PackedSchedule(const Schedule& s);
+
+  int n() const noexcept { return n_; }
+  std::int64_t size() const noexcept { return len_; }
+  /// Words per column: ceil(size() / 64).
+  std::int64_t words() const noexcept { return words_; }
+
+  /// Process p's packed timeline (words() words; bits past size() are
+  /// zero).
+  const std::uint64_t* column(Pid p) const;
+
+  /// OR of the member columns of `s` (members >= n() are ignored) into
+  /// `out`, resized to words(). The packed form of "a step of the set".
+  void or_columns(ProcSet s, std::vector<std::uint64_t>& out) const;
+
+  /// min_timeliness_bound(s, p, q) over the packed prefix.
+  std::int64_t bound_for(ProcSet p, ProcSet q) const;
+
+ private:
+  int n_;
+  std::int64_t len_;
+  std::int64_t words_;
+  std::vector<std::uint64_t> bits_;  // column-major: [p * words_ + w]
+};
 
 struct TimelyPair {
   ProcSet timely_set;   // P, |P| = i
@@ -47,19 +146,92 @@ struct TimelyPair {
   std::int64_t bound;   // minimal bound for this pair on the prefix
 };
 
+/// Batched scan of every (P, Q) pair with |P| = i, |Q| = j over one
+/// packed prefix. P-subsets enumerate in SubsetRanker (combinadic)
+/// order; each P's OR'd timeline is computed once and shared by all
+/// C(n,j) observer sets; observer scans fuse the Q-column OR with the
+/// window walk and abort as soon as one P-free window reaches the
+/// bound cap. The [p_begin, p_end) rank ranges let callers shard the
+/// P-space (e.g. across an ExperimentRunner pool): results over a
+/// partition of [0, p_count()) compose to the full-range result.
+class RankedPairScan {
+ public:
+  RankedPairScan(const PackedSchedule& packed, int i, int j);
+
+  int i() const noexcept { return i_; }
+  int j() const noexcept { return j_; }
+  /// C(n, i): the P-rank space scans shard over.
+  std::int64_t p_count() const noexcept;
+  /// C(n, j) observer sets per P.
+  std::int64_t q_count() const noexcept;
+
+  /// The pair with the smallest bound among P-ranks [p_begin, p_end)
+  /// (ties: first in enumeration order) — exhaustive, with the running
+  /// best bound as the prune cap.
+  TimelyPair best_pair(std::int64_t p_begin, std::int64_t p_end) const;
+  TimelyPair best_pair() const { return best_pair(0, p_count()); }
+
+  /// First pair in enumeration order with bound <= bound_cap among
+  /// P-ranks [p_begin, p_end), if any.
+  std::optional<TimelyPair> find_witness(std::int64_t bound_cap,
+                                         std::int64_t p_begin,
+                                         std::int64_t p_end) const;
+  std::optional<TimelyPair> find_witness(std::int64_t bound_cap) const {
+    return find_witness(bound_cap, 0, p_count());
+  }
+
+  struct MemberCount {
+    std::int64_t pairs = 0;    // pairs scanned
+    std::int64_t members = 0;  // pairs with bound <= cap
+    std::optional<TimelyPair> first;  // earliest member, if any
+  };
+
+  /// Count of pairs with bound <= bound_cap among P-ranks
+  /// [p_begin, p_end) — the exhaustive membership census behind the
+  /// large-n detector sweeps.
+  MemberCount count_members(std::int64_t bound_cap, std::int64_t p_begin,
+                            std::int64_t p_end) const;
+  MemberCount count_members(std::int64_t bound_cap) const {
+    return count_members(bound_cap, 0, p_count());
+  }
+
+ private:
+  enum class Mode { kBest, kWitness, kCount };
+
+  struct ScanOutcome {
+    std::optional<TimelyPair> best;
+    std::int64_t pairs = 0;
+    std::int64_t members = 0;
+  };
+
+  ScanOutcome scan(std::int64_t p_begin, std::int64_t p_end,
+                   std::int64_t bound_cap, Mode mode) const;
+
+  const PackedSchedule* packed_;
+  int i_;
+  int j_;
+  SubsetRanker p_ranker_;
+  SubsetRanker q_ranker_;
+};
+
 class SystemMembership {
  public:
-  /// Prepares prefix sums for O(1) per-window set counts.
+  /// Packs the prefix once (O(len) time, n * len / 64 words of space);
+  /// every per-pair query afterwards runs on word operations.
   explicit SystemMembership(const Schedule& s);
 
   int n() const noexcept { return n_; }
 
+  const PackedSchedule& packed() const noexcept { return packed_; }
+
   /// Minimal bound for a specific pair (same value as
-  /// min_timeliness_bound, but O(windows * |Q|) after preparation).
+  /// min_timeliness_bound, but O(words * (|P| + |Q|)) word ops on the
+  /// shared packed prefix).
   std::int64_t bound_for(ProcSet p, ProcSet q) const;
 
   /// The pair of sizes (i, j) with the smallest bound over the prefix;
-  /// exhaustive over C(n,i) * C(n,j) pairs.
+  /// exhaustive over C(n,i) * C(n,j) pairs via RankedPairScan (shared
+  /// per-P timelines + best-bound pruning).
   TimelyPair best_pair(int i, int j) const;
 
   /// Membership in S^i_{j,n} at the given bound cap: exists (P, Q) with
@@ -68,13 +240,9 @@ class SystemMembership {
                                          std::int64_t bound_cap) const;
 
  private:
-  std::vector<std::int64_t> p_free_window_counts(ProcSet p, ProcSet q) const;
-
   int n_;
   std::int64_t len_;
-  // prefix_[p][t] = #steps of process p in [0, t).
-  std::vector<std::vector<std::int64_t>> prefix_;
-  std::vector<Pid> steps_;
+  PackedSchedule packed_;
 };
 
 }  // namespace setlib::sched

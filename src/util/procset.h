@@ -13,6 +13,7 @@
 #ifndef SETLIB_UTIL_PROCSET_H
 #define SETLIB_UTIL_PROCSET_H
 
+#include <bit>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -21,6 +22,34 @@
 #include "src/util/assert.h"
 
 namespace setlib {
+
+// -------------------------------------------------------------------
+// Word-block helpers. The analyzer (sched/analyzer.h) packs schedule
+// timelines 64 steps per word; these are the shared primitives for
+// iterating such blocks. They also back ProcSet's own bit iteration.
+
+/// Steps (bits) per packed timeline word.
+inline constexpr int kBitsPerWord = 64;
+
+/// Mask with the low `bits` bits set; `bits` in [0, 64].
+constexpr std::uint64_t low_word_mask(int bits) noexcept {
+  return bits >= kBitsPerWord ? ~std::uint64_t{0}
+                              : (std::uint64_t{1} << bits) - 1;
+}
+
+/// Mask selecting bits [lo, hi) of a word; 0 <= lo <= hi <= 64.
+constexpr std::uint64_t word_range_mask(int lo, int hi) noexcept {
+  return low_word_mask(hi) & ~low_word_mask(lo);
+}
+
+/// Visit the set bit positions of `word` in increasing order.
+template <typename Fn>
+void for_each_set_bit(std::uint64_t word, Fn&& fn) {
+  while (word != 0) {
+    fn(std::countr_zero(word));
+    word &= word - 1;
+  }
+}
 
 /// Process identifier, 0-based. The paper's process i is Pid i-1.
 using Pid = int;
@@ -64,6 +93,13 @@ class ProcSet {
 
   /// Elements in increasing order.
   std::vector<Pid> to_vector() const;
+
+  /// Visit the elements in increasing order without materializing a
+  /// vector (the hot path of the analyzer's column ORs).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for_each_set_bit(mask_, fn);
+  }
 
   friend constexpr ProcSet operator|(ProcSet a, ProcSet b) noexcept {
     return ProcSet(a.mask_ | b.mask_);
