@@ -108,11 +108,17 @@ void print_series_speedup(core::ExperimentRunner& runner,
             << (match ? "bit-identical" : "MISMATCH") << "\n\n";
   // Recorded as annotations on the figure1 section: the rescan is a
   // deliberately-slow legacy cross-check, not a grid of its own.
-  json.annotate("series_phases", static_cast<double>(phases));
+  // series_phases and rescan_match are run invariants — every shard
+  // (and the unsharded run) reports the same value, so the shard
+  // merge must keep them, not sum them. The wall/speedup annotations
+  // are timing keys and never merge.
+  json.annotate("series_phases", static_cast<double>(phases),
+                core::MergeRule::kSame);
   json.annotate("series_wall_seconds", wall);
   json.annotate("rescan_wall_seconds", rescan_wall);
   json.annotate("speedup_vs_rescan", speedup);
-  json.annotate("rescan_match", match ? 1.0 : 0.0);
+  json.annotate("rescan_match", match ? 1.0 : 0.0,
+                core::MergeRule::kSame);
 }
 
 void BM_Figure1Generate(benchmark::State& state) {

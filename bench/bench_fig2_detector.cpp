@@ -248,8 +248,16 @@ void print_largen_membership(core::ExperimentRunner& runner,
   std::cout << "EXP-F2d: S^2_{n-1,n} membership census at large n "
                "(RankedPairScan, cap 3, 40k-step prefixes)\n"
             << table.render() << "\n";
-  json.section("largen_membership", count, wall);
-  json.annotate("n_max", 24.0);
+  // Every shard walks all six census rows (each census shards its
+  // pair chunks internally), so the section's "cells" must be this
+  // shard's slice of the row space — like every other hand-fed
+  // section — or the shard merge would sum the full count N times.
+  const auto [cells_begin, cells_end] = runner.shard_range(count);
+  json.section("largen_membership", cells_end - cells_begin, wall);
+  // n_max is a run invariant (kSame); the census member counts below
+  // come out of the runner's shard slice, so shards sum to the
+  // unsharded counts (the default rule).
+  json.annotate("n_max", 24.0, core::MergeRule::kSame);
   for (std::size_t r = 0; r < count; ++r) {
     if (rows[r].n != 24) continue;
     json.annotate(rows[r].enforced ? "members_n24_enforced"

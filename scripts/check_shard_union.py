@@ -1,19 +1,28 @@
 #!/usr/bin/env python3
-"""Checks that the union of sharded sweep runs equals the unsharded run.
+"""Checks that sharded sweep runs recombine to the unsharded run.
 
 Usage: check_shard_union.py FULL.json SHARD0.json [SHARD1.json ...]
+       check_shard_union.py FULL.json --merged MERGED.json
 
-The shard JSONs must come from the same bench invoked with
---shard=0/N .. --shard=(N-1)/N, the full JSON from an unsharded run.
-For every section, the concatenation of the shards' deterministic facts
-must be bit-identical to the full run's:
-  - grid sections: the per-cell "rows" arrays (global index, success,
-    detector_ok, distinct, steps, witness_bound) concatenate, in order,
-    to the full run's rows;
-  - all sections: the shard cell counts sum to the full cell count.
-Wall-clock fields (wall_seconds, runs_per_sec, cell_seconds_*) are
-ignored by construction: they are never compared.
+Two modes:
+
+  * Shard list (legacy): a thin structural check on the raw shard
+    documents — per section, the shards' "rows" arrays concatenate to
+    the full run's rows and the cell counts sum. The real merge logic
+    lives in C++ (core::merge_shard_docs, exposed as
+    `sweep_orchestrator --merge-only`); this path just sanity-checks
+    raw worker output without needing the binary.
+
+  * --merged: full comparison of an already-merged document (written
+    by sweep_orchestrator) against the unsharded run. The documents
+    must be bit-identical in canonical form (sorted keys) after
+    stripping timing keys.
+
+Timing keys — the only fields allowed to differ — are "runs_per_sec"
+and any key containing "wall", "seconds", or "speedup". This mirrors
+core::is_timing_key in src/core/report.cpp; keep the two in sync.
 """
+import difflib
 import json
 import sys
 
@@ -21,6 +30,41 @@ import sys
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def is_timing_key(key):
+    return (key == "runs_per_sec" or "wall" in key or "seconds" in key
+            or "speedup" in key)
+
+
+def strip_timing(obj):
+    if isinstance(obj, dict):
+        return {k: strip_timing(v) for k, v in obj.items()
+                if not is_timing_key(k)}
+    if isinstance(obj, list):
+        return [strip_timing(v) for v in obj]
+    return obj
+
+
+def canonical(doc):
+    return json.dumps(strip_timing(doc), sort_keys=True, indent=1)
+
+
+def check_merged(full_path, merged_path):
+    want = canonical(load(full_path))
+    got = canonical(load(merged_path))
+    if want == got:
+        print(f"{merged_path} is bit-identical to {full_path} "
+              f"modulo timing keys")
+        return
+    diff = difflib.unified_diff(
+        want.splitlines(), got.splitlines(),
+        fromfile=full_path, tofile=merged_path, lineterm="")
+    shown = list(diff)[:60]
+    print("\n".join(shown))
+    raise SystemExit(
+        f"FAIL: {merged_path} differs from {full_path} "
+        f"(timing keys already excluded)")
 
 
 def sections_by_name(doc):
@@ -33,11 +77,9 @@ def sections_by_name(doc):
     return out
 
 
-def main():
-    if len(sys.argv) < 3:
-        raise SystemExit(__doc__)
-    full = sections_by_name(load(sys.argv[1]))
-    shards = [sections_by_name(load(p)) for p in sys.argv[2:]]
+def check_shards(full_path, shard_paths):
+    full = sections_by_name(load(full_path))
+    shards = [sections_by_name(load(p)) for p in shard_paths]
 
     failures = 0
     for name, section in full.items():
@@ -64,6 +106,17 @@ def main():
     if failures:
         raise SystemExit(f"{failures} section(s) failed the union check")
     print("shard union is bit-identical to the unsharded run")
+
+
+def main():
+    if len(sys.argv) < 3:
+        raise SystemExit(__doc__)
+    if sys.argv[2] == "--merged":
+        if len(sys.argv) != 4:
+            raise SystemExit(__doc__)
+        check_merged(sys.argv[1], sys.argv[3])
+    else:
+        check_shards(sys.argv[1], sys.argv[2:])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,180 @@
+#include "src/core/orchestrator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/util/assert.h"
+
+namespace setlib::core {
+
+namespace {
+
+/// Reads a whole file; false when it cannot be opened.
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Trims a stderr capture for the failure report: last `limit` bytes,
+/// whole lines.
+std::string stderr_excerpt(const std::string& err,
+                           std::size_t limit = 2000) {
+  if (err.empty()) return "(empty)";
+  std::string text = err;
+  if (text.size() > limit) {
+    text = text.substr(text.size() - limit);
+    const std::size_t nl = text.find('\n');
+    if (nl != std::string::npos && nl + 1 < text.size()) {
+      text = text.substr(nl + 1);
+    }
+    text.insert(0, "[...]\n");
+  }
+  return text;
+}
+
+}  // namespace
+
+bool OrchestrationResult::ok() const {
+  if (!merge_error.empty()) return false;
+  if (shards.empty()) return false;
+  for (const ShardRun& shard : shards) {
+    if (!shard.ok) return false;
+  }
+  return true;
+}
+
+std::string OrchestrationResult::summary() const {
+  std::ostringstream os;
+  for (const ShardRun& shard : shards) {
+    os << "shard " << shard.shard << "/" << shards.size() << ": ";
+    if (shard.ok) {
+      os << "ok (" << shard.attempts << " attempt"
+         << (shard.attempts == 1 ? "" : "s") << ", "
+         << shard.last.wall_seconds << " s)\n";
+    } else {
+      os << "FAILED after " << shard.attempts << " attempt"
+         << (shard.attempts == 1 ? "" : "s") << ": " << shard.error
+         << "\n  last stderr: "
+         << stderr_excerpt(shard.last.err) << "\n";
+    }
+  }
+  if (!merge_error.empty()) {
+    os << "merge: FAILED: " << merge_error << "\n";
+  }
+  return os.str();
+}
+
+OrchestrationResult orchestrate(const OrchestratorOptions& options) {
+  SETLIB_EXPECTS(!options.bench.empty());
+  SETLIB_EXPECTS(options.shards >= 1);
+  SETLIB_EXPECTS(options.workers >= 0);
+  SETLIB_EXPECTS(options.retries >= 0);
+  SETLIB_EXPECTS(!options.shard_dir.empty());
+
+  std::filesystem::create_directories(options.shard_dir);
+
+  const int n = options.shards;
+  OrchestrationResult result;
+  result.shards.resize(static_cast<std::size_t>(n));
+  std::vector<JsonValue> docs(static_cast<std::size_t>(n));
+
+  int workers = options.workers;
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  workers = std::min(workers, n);
+
+  // Each worker thread claims shard indices off the shared counter and
+  // drives one child at a time: launch, wait, verify, retry.
+  std::atomic<int> next{0};
+  auto run_shards = [&] {
+    for (;;) {
+      const int k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= n) return;
+      ShardRun& run = result.shards[static_cast<std::size_t>(k)];
+      run.shard = k;
+      run.json_path = options.shard_dir + "/shard_" +
+                      std::to_string(k) + ".json";
+
+      std::vector<std::string> argv;
+      argv.reserve(options.bench_args.size() + 3);
+      argv.push_back(options.bench);
+      argv.insert(argv.end(), options.bench_args.begin(),
+                  options.bench_args.end());
+      argv.push_back("--shard=" + std::to_string(k) + "/" +
+                     std::to_string(n));
+      argv.push_back("--json=" + run.json_path);
+
+      runtime::Subprocess::Options sub_options;
+      sub_options.timeout = options.timeout;
+
+      for (int attempt = 0; attempt <= options.retries; ++attempt) {
+        ++run.attempts;
+        // A stale or truncated document from a previous attempt (or
+        // run) must never be mistaken for this attempt's output.
+        std::error_code ignored;
+        std::filesystem::remove(run.json_path, ignored);
+
+        run.last = runtime::Subprocess::run(argv, sub_options);
+        if (!run.last.ok()) {
+          run.error = run.last.describe();
+          continue;
+        }
+        std::string text;
+        if (!read_file(run.json_path, text)) {
+          run.error = "worker exited 0 but wrote no " + run.json_path;
+          continue;
+        }
+        try {
+          docs[static_cast<std::size_t>(k)] = JsonValue::parse(text);
+        } catch (const JsonParseError& e) {
+          run.error = std::string("worker wrote unparsable JSON: ") +
+                      e.what();
+          continue;
+        }
+        run.ok = true;
+        run.error.clear();
+        break;
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) threads.emplace_back(run_shards);
+  }
+
+  bool all_ok = true;
+  for (const ShardRun& run : result.shards) all_ok &= run.ok;
+  if (all_ok) {
+    try {
+      result.merged = merge_shard_docs(docs);
+    } catch (const MergeError& e) {
+      result.merge_error = e.what();
+    }
+  }
+
+  return result;
+}
+
+void remove_shard_documents(const OrchestratorOptions& options,
+                            const OrchestrationResult& result) {
+  for (const ShardRun& run : result.shards) {
+    std::error_code ignored;
+    std::filesystem::remove(run.json_path, ignored);
+  }
+  std::error_code ignored;
+  std::filesystem::remove(options.shard_dir, ignored);  // if now empty
+}
+
+}  // namespace setlib::core

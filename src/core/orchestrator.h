@@ -1,0 +1,80 @@
+// The multi-process shard orchestrator: launches the N --shard=K/N
+// workers of one bench binary and merges their JSON documents into the
+// document the unsharded run would have written.
+//
+// check_shard_union.py proved that shard unions are bit-identical;
+// orchestrate() is the driver that was missing — it partitions (the
+// shard flag), dispatches (runtime::Subprocess workers under a
+// parallelism cap), survives a dying child (bounded retries; a shard
+// that keeps failing is reported with its captured stderr, never
+// silently dropped), and recombines (core::merge_shard_docs).
+//
+// The contract tested in CI: for a deterministic bench,
+//   orchestrate(bench, N).merged  ==  unsharded --json document
+// bit-identical modulo timing keys (is_timing_key).
+#ifndef SETLIB_CORE_ORCHESTRATOR_H
+#define SETLIB_CORE_ORCHESTRATOR_H
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/runtime/subprocess.h"
+#include "src/util/json.h"
+
+namespace setlib::core {
+
+struct OrchestratorOptions {
+  std::string bench;                    // worker binary path
+  std::vector<std::string> bench_args;  // forwarded to every worker
+  int shards = 3;                       // N in --shard=K/N
+  int workers = 0;   // concurrent children; 0 = min(shards, hardware)
+  int retries = 1;   // extra attempts per shard after the first
+  /// Per-attempt wall budget; zero disables the timeout.
+  std::chrono::milliseconds timeout{300'000};
+  std::string shard_dir = "orchestrator_shards";  // shard JSONs land here
+  /// Keep the per-shard JSONs after a successful merge was persisted
+  /// (cleanup is the caller's remove_shard_documents call — never
+  /// orchestrate()'s, so the shard documents survive until the merged
+  /// document is safely on disk).
+  bool keep_shards = false;
+};
+
+/// Outcome of one shard (all its attempts).
+struct ShardRun {
+  int shard = 0;
+  int attempts = 0;
+  bool ok = false;
+  std::string json_path;
+  std::string error;  // why the shard ultimately failed ("" when ok)
+  runtime::SubprocessResult last;  // last attempt's process outcome
+};
+
+struct OrchestrationResult {
+  std::vector<ShardRun> shards;   // indexed by shard number
+  std::string merge_error;        // non-empty when merging failed
+  JsonValue merged;               // valid iff ok()
+
+  bool ok() const;
+  /// Human report: one line per shard, plus the stderr of failures.
+  std::string summary() const;
+};
+
+/// Runs the N shard workers (at most `workers` concurrently), retries
+/// failed/timed-out/unparsable shards up to `retries` extra times,
+/// and merges the shard documents. Never throws on worker failure —
+/// inspect ok()/summary(); throws ContractViolation only on misuse
+/// (no bench, shards < 1).
+OrchestrationResult orchestrate(const OrchestratorOptions& options);
+
+/// Removes the per-shard JSON documents (and the shard directory, if
+/// it is empty afterwards). Call only once the merged document has
+/// been persisted — the shard files are the run's only output until
+/// then.
+void remove_shard_documents(const OrchestratorOptions& options,
+                            const OrchestrationResult& result);
+
+}  // namespace setlib::core
+
+#endif  // SETLIB_CORE_ORCHESTRATOR_H

@@ -1,7 +1,10 @@
 #include "src/core/report.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 #include "src/util/assert.h"
@@ -119,30 +122,29 @@ void JsonSink::end_section(const SectionStats& stats) {
     if (row.detector_ok) ++detector_ok;
     witness.add(static_cast<double>(row.witness_bound));
   }
+  // Percentile keys are emitted unconditionally — an empty shard's
+  // section must be schema-identical to a populated one, or naive
+  // document merging produces asymmetric sections. json_number turns
+  // the NaN placeholder into null on render.
+  const double empty = std::numeric_limits<double>::quiet_NaN();
+  auto pct = [&empty](const Summary& s, double q) {
+    return s.empty() ? empty : s.percentile(q);
+  };
   auto& extra = pending_.extra;
   extra.emplace_back("grid_cells",
                      static_cast<double>(stats.grid_cells));
   extra.emplace_back("successes", static_cast<double>(successes));
   extra.emplace_back("detector_ok", static_cast<double>(detector_ok));
-  if (!stats.steps.empty()) {
-    extra.emplace_back("steps_p50", stats.steps.percentile(50.0));
-    extra.emplace_back("steps_p90", stats.steps.percentile(90.0));
-    extra.emplace_back("steps_p99", stats.steps.percentile(99.0));
-  }
-  if (!witness.empty()) {
-    extra.emplace_back("witness_bound_p90", witness.percentile(90.0));
-  }
+  extra.emplace_back("steps_p50", pct(stats.steps, 50.0));
+  extra.emplace_back("steps_p90", pct(stats.steps, 90.0));
+  extra.emplace_back("steps_p99", pct(stats.steps, 99.0));
+  extra.emplace_back("witness_bound_p90", pct(witness, 90.0));
   // Per-cell wall latency percentiles: the only non-deterministic
   // section facts besides wall_seconds/runs_per_sec (keys prefixed
   // cell_seconds_ so determinism diffs can strip them).
-  if (!stats.cell_seconds.empty()) {
-    extra.emplace_back("cell_seconds_p50",
-                       stats.cell_seconds.percentile(50.0));
-    extra.emplace_back("cell_seconds_p90",
-                       stats.cell_seconds.percentile(90.0));
-    extra.emplace_back("cell_seconds_p99",
-                       stats.cell_seconds.percentile(99.0));
-  }
+  extra.emplace_back("cell_seconds_p50", pct(stats.cell_seconds, 50.0));
+  extra.emplace_back("cell_seconds_p90", pct(stats.cell_seconds, 90.0));
+  extra.emplace_back("cell_seconds_p99", pct(stats.cell_seconds, 99.0));
   sections_.push_back(std::move(pending_));
   pending_ = Section{};
 }
@@ -158,9 +160,13 @@ void JsonSink::section(
   sections_.push_back(std::move(s));
 }
 
-void JsonSink::annotate(const std::string& key, double value) {
+void JsonSink::annotate(const std::string& key, double value,
+                        MergeRule rule) {
   SETLIB_EXPECTS(!sections_.empty());
   sections_.back().extra.emplace_back(key, value);
+  if (rule == MergeRule::kSame) {
+    sections_.back().same_keys.push_back(key);
+  }
 }
 
 std::string JsonSink::render() const {
@@ -168,10 +174,11 @@ std::string JsonSink::render() const {
   double total_wall = 0.0;
   std::ostringstream os;
   os << "{\n";
-  os << "  \"bench\": \"" << config_.name << "\",\n";
+  os << "  \"bench\": " << json_quote(config_.name) << ",\n";
   os << "  \"threads\": " << config_.threads << ",\n";
   os << "  \"repeat\": " << config_.repeat << ",\n";
-  os << "  \"shard\": \"" << config_.shard.to_string() << "\",\n";
+  os << "  \"shard\": " << json_quote(config_.shard.to_string())
+     << ",\n";
   os << "  \"sections\": [\n";
   for (std::size_t s = 0; s < sections_.size(); ++s) {
     const Section& sec = sections_[s];
@@ -181,11 +188,19 @@ std::string JsonSink::render() const {
         sec.wall_seconds > 0.0
             ? static_cast<double>(sec.cells) / sec.wall_seconds
             : 0.0;
-    os << "    {\"name\": \"" << sec.name << "\", \"cells\": " << sec.cells
-       << ", \"wall_seconds\": " << sec.wall_seconds
-       << ", \"runs_per_sec\": " << rate;
+    os << "    {\"name\": " << json_quote(sec.name)
+       << ", \"cells\": " << sec.cells
+       << ", \"wall_seconds\": " << json_number(sec.wall_seconds)
+       << ", \"runs_per_sec\": " << json_number(rate);
+    if (!sec.same_keys.empty()) {
+      os << ", \"same_keys\": [";
+      for (std::size_t k = 0; k < sec.same_keys.size(); ++k) {
+        os << (k == 0 ? "" : ", ") << json_quote(sec.same_keys[k]);
+      }
+      os << "]";
+    }
     for (const auto& [key, value] : sec.extra) {
-      os << ", \"" << key << "\": " << value;
+      os << ", " << json_quote(key) << ": " << json_number(value);
     }
     if (sec.from_grid) {
       os << ", \"rows\": [";
@@ -207,8 +222,8 @@ std::string JsonSink::render() const {
       total_wall > 0.0 ? static_cast<double>(total_cells) / total_wall
                        : 0.0;
   os << "  \"total_cells\": " << total_cells << ",\n";
-  os << "  \"total_wall_seconds\": " << total_wall << ",\n";
-  os << "  \"runs_per_sec\": " << total_rate << "\n";
+  os << "  \"total_wall_seconds\": " << json_number(total_wall) << ",\n";
+  os << "  \"runs_per_sec\": " << json_number(total_rate) << "\n";
   os << "}\n";
   return os.str();
 }
@@ -219,6 +234,367 @@ void JsonSink::write_if_requested() const {
   SETLIB_EXPECTS(file.good());
   file << render();
   std::cout << "wrote " << config_.path << "\n";
+}
+
+// ---------------------------------------------------------------------
+// Shard-document merging.
+
+bool is_timing_key(const std::string& key) {
+  return key == "runs_per_sec" ||
+         key.find("wall") != std::string::npos ||
+         key.find("seconds") != std::string::npos ||
+         key.find("speedup") != std::string::npos;
+}
+
+JsonValue strip_timing_keys(const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kObject: {
+      JsonValue out = JsonValue::object();
+      for (const auto& [key, member] : value.members()) {
+        if (is_timing_key(key)) continue;
+        out.set(key, strip_timing_keys(member));
+      }
+      return out;
+    }
+    case JsonValue::Kind::kArray: {
+      std::vector<JsonValue> items;
+      items.reserve(value.items().size());
+      for (const JsonValue& item : value.items()) {
+        items.push_back(strip_timing_keys(item));
+      }
+      return JsonValue::array(std::move(items));
+    }
+    default:
+      return value;
+  }
+}
+
+namespace {
+
+JsonValue sort_keys(const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kObject: {
+      std::vector<JsonValue::Member> members;
+      members.reserve(value.members().size());
+      for (const auto& [key, member] : value.members()) {
+        members.emplace_back(key, sort_keys(member));
+      }
+      std::sort(members.begin(), members.end(),
+                [](const JsonValue::Member& a, const JsonValue::Member& b) {
+                  return a.first < b.first;
+                });
+      return JsonValue::object(std::move(members));
+    }
+    case JsonValue::Kind::kArray: {
+      std::vector<JsonValue> items;
+      items.reserve(value.items().size());
+      for (const JsonValue& item : value.items()) {
+        items.push_back(sort_keys(item));
+      }
+      return JsonValue::array(std::move(items));
+    }
+    default:
+      return value;
+  }
+}
+
+bool is_cell_seconds_key(const std::string& key) {
+  return key.rfind("cell_seconds_", 0) == 0;
+}
+
+/// Keys a grid section derives from its rows; recomputed on merge.
+bool is_grid_stat_key(const std::string& key) {
+  return key == "grid_cells" || key == "successes" ||
+         key == "detector_ok" || key == "steps_p50" ||
+         key == "steps_p90" || key == "steps_p99" ||
+         key == "witness_bound_p90" || is_cell_seconds_key(key);
+}
+
+/// The section skeleton every JsonSink section shares.
+bool is_section_frame_key(const std::string& key) {
+  return key == "name" || key == "cells" || key == "wall_seconds" ||
+         key == "runs_per_sec" || key == "same_keys" || key == "rows";
+}
+
+/// Strict digits-only parse for the "k/n" halves of a shard field —
+/// std::stoul would accept trailing garbage, signs, and whitespace,
+/// defeating the duplicate/missing-shard detection.
+bool parse_shard_index(const std::string& text, std::size_t* out) {
+  if (text.empty() || text.size() > 9) return false;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+std::size_t require_count(const JsonValue& section,
+                          const std::string& name,
+                          const std::string& key) {
+  const std::int64_t value = section.at(key).as_int();
+  if (value < 0) {
+    throw MergeError("section \"" + name + "\": negative " + key);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+JsonValue merge_section(const std::vector<const JsonValue*>& parts) {
+  const std::string& name = parts[0]->at("name").as_string();
+  const bool grid = parts[0]->find("rows") != nullptr;
+  for (const JsonValue* part : parts) {
+    if (part->at("name").as_string() != name) {
+      throw MergeError("shard documents disagree on the section "
+                       "sequence: \"" +
+                       name + "\" vs \"" + part->at("name").as_string() +
+                       "\"");
+    }
+    if ((part->find("rows") != nullptr) != grid) {
+      throw MergeError("section \"" + name +
+                       "\": grid in some shards, hand-fed in others");
+    }
+  }
+
+  std::size_t cells = 0;
+  double wall = 0.0;
+  for (const JsonValue* part : parts) {
+    cells += require_count(*part, name, "cells");
+    const JsonValue& w = part->at("wall_seconds");
+    if (w.is_number()) wall += w.as_double();
+  }
+
+  JsonValue out = JsonValue::object();
+  out.set("name", JsonValue::of(name));
+  out.set("cells", JsonValue::of(cells));
+  out.set("wall_seconds", JsonValue::of(wall));
+  out.set("runs_per_sec",
+          JsonValue::of(wall > 0.0 ? static_cast<double>(cells) / wall
+                                   : 0.0));
+
+  // same_keys is part of the schema: every shard must carry the same
+  // list, and it travels into the merged document.
+  const JsonValue* same_list = parts[0]->find("same_keys");
+  for (const JsonValue* part : parts) {
+    const JsonValue* other = part->find("same_keys");
+    const bool equal = (same_list == nullptr && other == nullptr) ||
+                       (same_list != nullptr && other != nullptr &&
+                        *same_list == *other);
+    if (!equal) {
+      throw MergeError("section \"" + name +
+                       "\": shards disagree on same_keys");
+    }
+  }
+  std::vector<std::string> same_keys;
+  if (same_list != nullptr) {
+    out.set("same_keys", *same_list);
+    for (const JsonValue& key : same_list->items()) {
+      same_keys.push_back(key.as_string());
+    }
+  }
+
+  std::vector<JsonValue> rows;
+  if (grid) {
+    const JsonValue& grid_cells = parts[0]->at("grid_cells");
+    std::int64_t last_index = -1;
+    for (const JsonValue* part : parts) {
+      if (!(part->at("grid_cells") == grid_cells)) {
+        throw MergeError("section \"" + name +
+                         "\": shards disagree on grid_cells");
+      }
+      const auto& part_rows = part->at("rows").items();
+      if (part_rows.size() != require_count(*part, name, "cells")) {
+        throw MergeError("section \"" + name +
+                         "\": cells does not match the rows array");
+      }
+      for (const JsonValue& row : part_rows) {
+        const std::int64_t index = row.at("index").as_int();
+        if (index <= last_index) {
+          throw MergeError(
+              "section \"" + name +
+              "\": global row indices are not strictly increasing "
+              "across shards (shards missing, duplicated, or out of "
+              "order)");
+        }
+        last_index = index;
+        rows.push_back(row);
+      }
+    }
+
+    // Recompute every rows-derived fact with the same arithmetic the
+    // unsharded run uses; per-cell latency percentiles are wall-clock
+    // facts of runs that no longer exist, so they merge to null.
+    std::size_t successes = 0;
+    std::size_t detector_ok = 0;
+    Summary steps;
+    Summary witness;
+    for (const JsonValue& row : rows) {
+      if (row.at("success").as_int() != 0) ++successes;
+      if (row.at("detector_ok").as_int() != 0) ++detector_ok;
+      steps.add(row.at("steps").as_double());
+      witness.add(row.at("witness_bound").as_double());
+    }
+    const double empty = std::numeric_limits<double>::quiet_NaN();
+    auto pct = [&empty](const Summary& s, double q) {
+      return s.empty() ? empty : s.percentile(q);
+    };
+    out.set("grid_cells", grid_cells);
+    out.set("successes", JsonValue::of(static_cast<double>(successes)));
+    out.set("detector_ok",
+            JsonValue::of(static_cast<double>(detector_ok)));
+    out.set("steps_p50", JsonValue::of(pct(steps, 50.0)));
+    out.set("steps_p90", JsonValue::of(pct(steps, 90.0)));
+    out.set("steps_p99", JsonValue::of(pct(steps, 99.0)));
+    out.set("witness_bound_p90", JsonValue::of(pct(witness, 90.0)));
+    out.set("cell_seconds_p50", JsonValue::null());
+    out.set("cell_seconds_p90", JsonValue::null());
+    out.set("cell_seconds_p99", JsonValue::null());
+  }
+
+  // Hand annotations: the union of extra keys across shards, in first
+  // appearance order. Timing keys never merge; same_keys facts must
+  // agree; everything else is a shard-local count and sums.
+  std::vector<std::string> extra_keys;
+  for (const JsonValue* part : parts) {
+    for (const auto& [key, member] : part->members()) {
+      if (is_section_frame_key(key)) continue;
+      if (grid && is_grid_stat_key(key)) continue;
+      if (std::find(extra_keys.begin(), extra_keys.end(), key) ==
+          extra_keys.end()) {
+        extra_keys.push_back(key);
+      }
+    }
+  }
+  for (const std::string& key : extra_keys) {
+    if (is_timing_key(key)) continue;
+    if (std::find(same_keys.begin(), same_keys.end(), key) !=
+        same_keys.end()) {
+      const JsonValue* agreed = nullptr;
+      for (const JsonValue* part : parts) {
+        const JsonValue* value = part->find(key);
+        if (value == nullptr) continue;
+        if (agreed == nullptr) {
+          agreed = value;
+        } else if (!(*agreed == *value)) {
+          throw MergeError("section \"" + name + "\": shards disagree "
+                           "on invariant key \"" +
+                           key + "\"");
+        }
+      }
+      out.set(key, *agreed);
+    } else {
+      double sum = 0.0;
+      for (const JsonValue* part : parts) {
+        const JsonValue* value = part->find(key);
+        if (value == nullptr) continue;
+        if (!value->is_number()) {
+          throw MergeError("section \"" + name + "\": cannot sum "
+                           "non-numeric key \"" +
+                           key + "\" (annotate it MergeRule::kSame?)");
+        }
+        sum += value->as_double();
+      }
+      out.set(key, JsonValue::of(sum));
+    }
+  }
+
+  if (grid) out.set("rows", JsonValue::array(std::move(rows)));
+  return out;
+}
+
+JsonValue merge_shard_docs_impl(const std::vector<JsonValue>& docs) {
+  if (docs.empty()) {
+    throw MergeError("merge_shard_docs: no shard documents given");
+  }
+  const std::size_t n = docs.size();
+  std::vector<const JsonValue*> by_k(n, nullptr);
+  for (const JsonValue& doc : docs) {
+    const std::string& shard = doc.at("shard").as_string();
+    const std::size_t slash = shard.find('/');
+    std::size_t k = 0;
+    std::size_t shard_n = 0;
+    if (slash == std::string::npos ||
+        !parse_shard_index(shard.substr(0, slash), &k) ||
+        !parse_shard_index(shard.substr(slash + 1), &shard_n)) {
+      throw MergeError("malformed shard field \"" + shard + "\"");
+    }
+    if (shard_n != n) {
+      throw MergeError("document claims shard " + shard + " but " +
+                       std::to_string(n) + " documents were given");
+    }
+    if (k >= n) {
+      throw MergeError("shard index out of range in \"" + shard + "\"");
+    }
+    if (by_k[k] != nullptr) {
+      throw MergeError("duplicate shard " + shard);
+    }
+    by_k[k] = &doc;
+  }
+  // n documents, n distinct indices < n: every slot is filled.
+
+  const JsonValue& first = *by_k[0];
+  for (const char* key : {"bench", "threads", "repeat"}) {
+    for (const JsonValue* doc : by_k) {
+      if (!(doc->at(key) == first.at(key))) {
+        throw MergeError(std::string("shard documents disagree on \"") +
+                         key + "\"");
+      }
+    }
+  }
+
+  const std::size_t section_count = first.at("sections").items().size();
+  for (const JsonValue* doc : by_k) {
+    if (doc->at("sections").items().size() != section_count) {
+      throw MergeError("shard documents have different section counts");
+    }
+  }
+
+  JsonValue merged = JsonValue::object();
+  merged.set("bench", first.at("bench"));
+  merged.set("threads", first.at("threads"));
+  merged.set("repeat", first.at("repeat"));
+  merged.set("shard", JsonValue::of("0/1"));
+
+  std::vector<JsonValue> sections;
+  std::size_t total_cells = 0;
+  double total_wall = 0.0;
+  for (std::size_t s = 0; s < section_count; ++s) {
+    std::vector<const JsonValue*> parts;
+    parts.reserve(n);
+    for (const JsonValue* doc : by_k) {
+      parts.push_back(&doc->at("sections").items()[s]);
+    }
+    JsonValue section = merge_section(parts);
+    total_cells += static_cast<std::size_t>(section.at("cells").as_int());
+    total_wall += section.at("wall_seconds").as_double();
+    sections.push_back(std::move(section));
+  }
+  merged.set("sections", JsonValue::array(std::move(sections)));
+  merged.set("total_cells", JsonValue::of(total_cells));
+  merged.set("total_wall_seconds", JsonValue::of(total_wall));
+  merged.set("runs_per_sec",
+             JsonValue::of(total_wall > 0.0
+                               ? static_cast<double>(total_cells) /
+                                     total_wall
+                               : 0.0));
+  return merged;
+}
+
+}  // namespace
+
+std::string canonical_json(const JsonValue& value) {
+  return sort_keys(value).dump();
+}
+
+JsonValue merge_shard_docs(const std::vector<JsonValue>& docs) {
+  try {
+    return merge_shard_docs_impl(docs);
+  } catch (const JsonParseError& e) {
+    // A structurally broken document (missing key, wrong type) is a
+    // merge failure, not a parse failure of this layer's making.
+    throw MergeError(std::string("malformed shard document: ") +
+                     e.what());
+  }
 }
 
 }  // namespace setlib::core

@@ -31,6 +31,7 @@
 
 #include "src/core/engine.h"
 #include "src/core/sweep.h"
+#include "src/util/json.h"
 #include "src/util/stats.h"
 
 namespace setlib::core {
@@ -136,11 +137,28 @@ class TableSink : public ReportSink {
   std::map<std::string, std::size_t> index_of_;
 };
 
+/// How merge_shard_docs recombines a hand-recorded section fact
+/// across shards. Counts over a shard's slice (successes, mismatches,
+/// census members) sum; facts that are invariants of the run
+/// (series_phases, n_max, a cross-check verdict) must agree and are
+/// kept verbatim. Timing facts (see is_timing_key) are never merged.
+enum class MergeRule {
+  kSum,   // shard-local count: shards add up to the unsharded value
+  kSame,  // run invariant: every shard (and the full run) agrees
+};
+
 /// Accumulates sweep sections and writes BENCH_<name>.json. Grid
 /// sections (streamed through the ReportSink hooks) record successes,
 /// per-cell latency percentiles, and a per-cell row array of the
 /// deterministic fields; hand-fed section() calls cover loops whose
 /// results are not RunReports.
+///
+/// Emission contract (the merge path depends on it): the document
+/// always round-trips through a strict JSON parser — strings are
+/// escaped, non-finite doubles render as null — and a grid section
+/// emits its percentile keys (steps_p50/p90/p99, witness_bound_p90,
+/// cell_seconds_p50/p90/p99) whether or not the shard ran any cells
+/// (null when empty), so shard documents are schema-identical.
 class JsonSink : public ReportSink {
  public:
   struct Config {
@@ -165,8 +183,12 @@ class JsonSink : public ReportSink {
                double wall_seconds,
                std::vector<std::pair<std::string, double>> extra = {});
 
-  /// Attaches an extra numeric fact to the most recent section.
-  void annotate(const std::string& key, double value);
+  /// Attaches an extra numeric fact to the most recent section. The
+  /// MergeRule tells merge_shard_docs how to recombine the fact; keys
+  /// annotated kSame are listed in the section's "same_keys" array so
+  /// the rule travels with the document.
+  void annotate(const std::string& key, double value,
+                MergeRule rule = MergeRule::kSum);
 
   /// The JSON document (also what write_if_requested persists).
   std::string render() const;
@@ -188,6 +210,7 @@ class JsonSink : public ReportSink {
     std::size_t cells = 0;
     double wall_seconds = 0.0;
     std::vector<std::pair<std::string, double>> extra;
+    std::vector<std::string> same_keys;  // extras annotated kSame
     bool from_grid = false;
     std::vector<CellRow> rows;  // grid sections only
   };
@@ -197,6 +220,49 @@ class JsonSink : public ReportSink {
   Section pending_;  // grid section currently streaming
   bool streaming_ = false;
 };
+
+// ---------------------------------------------------------------------
+// Shard-document merging: the recombination rule behind the
+// multi-process orchestrator. Given the N parsed --shard=K/N --json
+// documents of one bench, merge_shard_docs produces the document the
+// unsharded run would have written, bit-identical modulo timing keys:
+//
+//   - grid sections: the per-cell "rows" arrays concatenate in shard
+//     order (global indices must stay strictly increasing), and every
+//     derived fact (successes, detector_ok, steps percentiles,
+//     witness_bound_p90) is recomputed from the union rows with the
+//     same Summary arithmetic the unsharded run uses;
+//   - hand-fed sections: cells sum; extras sum (kSum) or must agree
+//     (kSame, per the section's same_keys list);
+//   - timing keys (is_timing_key) are wall-clock facts: wall_seconds
+//     sums and runs_per_sec is recomputed, every other timing fact is
+//     dropped — they are excluded from determinism diffs by rule.
+//
+// Inconsistent inputs (missing/duplicate shards, diverging configs,
+// mismatched section sequences) throw MergeError rather than
+// producing a silently incomplete document.
+
+class MergeError : public std::runtime_error {
+ public:
+  explicit MergeError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// True for wall-clock-derived keys, which no determinism diff may
+/// compare: "runs_per_sec" and any key containing "wall", "seconds",
+/// or "speedup". Mirrored by scripts/check_shard_union.py.
+bool is_timing_key(const std::string& key);
+
+/// Deep-copies `value` with every is_timing_key object member removed.
+JsonValue strip_timing_keys(const JsonValue& value);
+
+/// Serializes with object keys sorted recursively (compact form), so
+/// two documents compare bytewise regardless of emission order.
+std::string canonical_json(const JsonValue& value);
+
+/// Merges the N shard documents of one bench run (any input order)
+/// into the unsharded document. Throws MergeError on inconsistency.
+JsonValue merge_shard_docs(const std::vector<JsonValue>& docs);
 
 }  // namespace setlib::core
 

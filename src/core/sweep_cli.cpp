@@ -1,51 +1,76 @@
 #include "src/core/sweep_cli.h"
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 
 #include "src/util/assert.h"
 
 namespace setlib::core {
 
-namespace {
+long parse_long_value(const std::string& text, const std::string& flag) {
+  if (text.empty()) {
+    throw ContractViolation(flag + ": empty value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text.c_str(), &end, 10);
+  // Reject trailing garbage ("--threads=8x") instead of truncating,
+  // and a no-digit parse ("--threads=x") instead of defaulting to 0.
+  if (end == text.c_str() || end == nullptr || *end != '\0') {
+    throw ContractViolation(flag + ": expected a base-10 integer, got '" +
+                            text + "'");
+  }
+  // strtol saturates to LONG_MIN/LONG_MAX on overflow and only tells
+  // us via errno — "--grain=99999999999999999999" must be an error,
+  // not LONG_MAX.
+  if (errno == ERANGE) {
+    throw ContractViolation(flag + ": value '" + text +
+                            "' is out of range");
+  }
+  return parsed;
+}
+
+int parse_int_value(const std::string& text, const std::string& flag) {
+  const long parsed = parse_long_value(text, flag);
+  if (parsed < INT_MIN || parsed > INT_MAX) {
+    throw ContractViolation(flag + ": value '" + text +
+                            "' does not fit in an int");
+  }
+  return static_cast<int>(parsed);
+}
 
 bool consume_long_flag(const std::string& arg, const std::string& prefix,
                        long* out) {
   if (arg.rfind(prefix, 0) != 0) return false;
-  const std::string value = arg.substr(prefix.size());
-  SETLIB_EXPECTS(!value.empty());
-  char* end = nullptr;
-  const long parsed = std::strtol(value.c_str(), &end, 10);
-  // Reject trailing garbage ("--threads=8x") instead of truncating.
-  SETLIB_EXPECTS(end != nullptr && *end == '\0');
-  *out = parsed;
+  *out = parse_long_value(arg.substr(prefix.size()), prefix);
   return true;
 }
 
 bool consume_int_flag(const std::string& arg, const std::string& prefix,
                       int* out) {
-  long value = 0;
-  if (!consume_long_flag(arg, prefix, &value)) return false;
-  *out = static_cast<int>(value);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = parse_int_value(arg.substr(prefix.size()), prefix);
   return true;
 }
+
+namespace {
 
 bool consume_shard_flag(const std::string& arg, ShardSpec* out) {
   const std::string prefix = "--shard=";
   if (arg.rfind(prefix, 0) != 0) return false;
   const std::string value = arg.substr(prefix.size());
   const std::size_t slash = value.find('/');
-  SETLIB_EXPECTS(slash != std::string::npos && slash > 0 &&
-                 slash + 1 < value.size());
-  // Named locals: *end is inspected after the full expression, so the
-  // strtol buffers must outlive the statement.
-  const std::string k_text = value.substr(0, slash);
-  const std::string n_text = value.substr(slash + 1);
-  char* end = nullptr;
-  const long k = std::strtol(k_text.c_str(), &end, 10);
-  SETLIB_EXPECTS(end != nullptr && *end == '\0');
-  const long n = std::strtol(n_text.c_str(), &end, 10);
-  SETLIB_EXPECTS(end != nullptr && *end == '\0');
-  SETLIB_EXPECTS(n >= 1 && k >= 0 && k < n);
+  if (slash == std::string::npos) {
+    throw ContractViolation(prefix + ": expected K/N, got '" + value +
+                            "'");
+  }
+  const long k = parse_long_value(value.substr(0, slash), prefix);
+  const long n = parse_long_value(value.substr(slash + 1), prefix);
+  if (n < 1 || k < 0 || k >= n) {
+    throw ContractViolation(prefix + ": shard '" + value +
+                            "' violates 0 <= K < N");
+  }
   out->k = static_cast<std::size_t>(k);
   out->n = static_cast<std::size_t>(n);
   return true;

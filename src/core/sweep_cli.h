@@ -26,6 +26,25 @@ namespace setlib::core {
 RunnerOptions parse_runner_options(int* argc, char** argv,
                                    const std::string& name);
 
+/// Strict base-10 parse of a flag value. Rejects empty values,
+/// trailing garbage ("8x"), and out-of-range magnitudes (strtol's
+/// ERANGE saturation is an error here, not a value) with a
+/// ContractViolation naming the flag. Shared by every CLI in the repo
+/// so no surface silently truncates or wraps.
+long parse_long_value(const std::string& text, const std::string& flag);
+
+/// parse_long_value narrowed to int, rejecting values outside
+/// [INT_MIN, INT_MAX] instead of wrapping.
+int parse_int_value(const std::string& text, const std::string& flag);
+
+/// If arg starts with prefix ("--threads="), parses the remainder into
+/// *out and returns true; returns false when the prefix does not
+/// match. Parse failures throw (see parse_long_value).
+bool consume_long_flag(const std::string& arg, const std::string& prefix,
+                       long* out);
+bool consume_int_flag(const std::string& arg, const std::string& prefix,
+                      int* out);
+
 }  // namespace setlib::core
 
 #endif  // SETLIB_CORE_SWEEP_CLI_H

@@ -12,11 +12,13 @@ ThreadedExecutor::ThreadedExecutor(RtMemory& mem, int n)
       n_(n),
       crash_after_(static_cast<std::size_t>(n),
                    std::numeric_limits<std::int64_t>::max()),
-      done_(static_cast<std::size_t>(n)) {
+      done_(static_cast<std::size_t>(n)),
+      exited_(static_cast<std::size_t>(n)) {
   SETLIB_EXPECTS(n >= 1 && n <= kMaxProcs);
   procs_.reserve(static_cast<std::size_t>(n));
   for (Pid p = 0; p < n; ++p) procs_.emplace_back(p);
   for (auto& d : done_) d.store(false, std::memory_order_relaxed);
+  for (auto& e : exited_) e.store(false, std::memory_order_relaxed);
 }
 
 shm::ProcessRuntime& ThreadedExecutor::process(Pid p) {
@@ -63,7 +65,12 @@ void ThreadedExecutor::thread_main(Pid p, Pacer& pacer,
       break;
     }
   }
-  // Whether crashed, done, or stopped: this thread takes no more steps.
+  // Whether crashed, done, stopped, or out of budget: this thread
+  // takes no more steps. Publishing exited_ lets the monitor end the
+  // run instead of waiting out max_wall for a process that left its
+  // loop without being done (op budget, pacer refusal).
+  exited_[static_cast<std::size_t>(p)].store(true,
+                                             std::memory_order_release);
   pacer.deactivate(p);
 }
 
@@ -81,22 +88,29 @@ ThreadedExecutor::RunStats ThreadedExecutor::run(Pacer& pacer,
       });
     }
 
-    // Monitor: end the run when every non-crashed process is done, or
-    // on wall-clock expiry. (Threads park in pacer waits or loop; the
-    // stop flag plus pacer stop release everyone.)
+    // Monitor: end the run when no runnable process remains — every
+    // process is done, crashed, or has exited its loop (op budget,
+    // pacer refusal) — or on wall-clock expiry. (Threads park in
+    // pacer waits or loop; the stop flag plus pacer stop release
+    // everyone.)
     for (;;) {
-      bool all_done = true;
+      bool all_settled = true;
       const ProcSet crashed_now = crashed();
       for (Pid p = 0; p < n_; ++p) {
         if (crashed_now.contains(p)) continue;
-        if (!done_[static_cast<std::size_t>(p)].load(
+        if (done_[static_cast<std::size_t>(p)].load(
                 std::memory_order_acquire)) {
-          all_done = false;
-          break;
+          continue;
         }
+        if (exited_[static_cast<std::size_t>(p)].load(
+                std::memory_order_acquire)) {
+          continue;
+        }
+        all_settled = false;
+        break;
       }
       const auto elapsed = std::chrono::steady_clock::now() - start;
-      if (all_done || elapsed >= options.max_wall) break;
+      if (all_settled || elapsed >= options.max_wall) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     stop_.store(true, std::memory_order_release);

@@ -72,6 +72,11 @@ class ThreadedExecutor {
   std::vector<shm::ProcessRuntime> procs_;
   std::vector<std::int64_t> crash_after_;
   std::vector<std::atomic<bool>> done_;
+  // Set when a process thread returns from its loop for any reason
+  // (op budget, pacer refusal, halt, crash). The monitor treats an
+  // exited process as settled, so a run whose threads have all
+  // returned ends immediately instead of spinning until max_wall.
+  std::vector<std::atomic<bool>> exited_;
   std::atomic<std::uint64_t> crashed_mask_{0};
   std::atomic<std::int64_t> total_ops_{0};
   std::atomic<bool> stop_{false};

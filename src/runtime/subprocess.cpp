@@ -1,0 +1,249 @@
+#include "src/runtime/subprocess.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "src/util/assert.h"
+
+namespace setlib::runtime {
+
+namespace {
+
+/// Closes fd if it is still open and marks it closed.
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Drains whatever is ready on fd into out; returns false on EOF.
+bool drain(int fd, std::string& out) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof buf);
+    if (got > 0) {
+      out.append(buf, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) return false;  // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;  // read error: treat as EOF
+  }
+}
+
+}  // namespace
+
+std::string SubprocessResult::describe() const {
+  char buf[64];
+  if (!started) return "failed to start";
+  if (timed_out) {
+    std::snprintf(buf, sizeof buf, "timed out after %.2f s",
+                  wall_seconds);
+    return buf;
+  }
+  if (term_signal != 0) {
+    std::snprintf(buf, sizeof buf, "killed by signal %d", term_signal);
+    return buf;
+  }
+  if (exited) {
+    std::snprintf(buf, sizeof buf, "exit %d", exit_code);
+    return buf;
+  }
+  return "unknown outcome";
+}
+
+SubprocessResult Subprocess::run(const std::vector<std::string>& argv,
+                                 const Options& options) {
+  SETLIB_EXPECTS(!argv.empty());
+  SubprocessResult result;
+  const auto start = std::chrono::steady_clock::now();
+
+  // O_CLOEXEC atomically: the orchestrator forks from several worker
+  // threads concurrently, and a sibling's child exec'ing between our
+  // pipe() and the parent-side closes would otherwise inherit our
+  // write ends and hold off EOF for its whole lifetime. The child's
+  // dup2 copies onto stdout/stderr drop the flag, which is exactly
+  // what exec should inherit.
+  int out_pipe[2] = {-1, -1};
+  int err_pipe[2] = {-1, -1};
+  if (::pipe2(out_pipe, O_CLOEXEC) != 0) return result;
+  if (::pipe2(err_pipe, O_CLOEXEC) != 0) {
+    close_fd(out_pipe[0]);
+    close_fd(out_pipe[1]);
+    return result;
+  }
+
+  // Built before fork: the parent is multithreaded (the orchestrator
+  // forks from several worker jthreads), so the child may only make
+  // async-signal-safe calls — no allocation, no strerror.
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    close_fd(out_pipe[0]);
+    close_fd(out_pipe[1]);
+    close_fd(err_pipe[0]);
+    close_fd(err_pipe[1]);
+    return result;
+  }
+
+  if (pid == 0) {
+    // Child: own process group (so a timeout can kill the whole tree,
+    // not just the immediate child), pipes to stdout/stderr, exec.
+    // Only async-signal-safe calls from here to exec.
+    ::setpgid(0, 0);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::dup2(err_pipe[1], STDERR_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::close(err_pipe[0]);
+    ::close(err_pipe[1]);
+    ::execvp(cargv[0], cargv.data());
+    const char* prefix = "exec failed: errno ";
+    char digits[16];  // decimal errno, least-significant first
+    int len = 0;
+    int e = errno;
+    if (e <= 0) digits[len++] = '0';
+    while (e > 0 && len < 15) {
+      digits[len++] = static_cast<char>('0' + e % 10);
+      e /= 10;
+    }
+    (void)!::write(STDERR_FILENO, prefix, ::strlen(prefix));
+    for (int d = len - 1; d >= 0; --d) {
+      (void)!::write(STDERR_FILENO, &digits[d], 1);
+    }
+    (void)!::write(STDERR_FILENO, "\n", 1);
+    ::_exit(127);
+  }
+
+  // Parent. The mirrored setpgid closes the fork/exec race: whichever
+  // side runs first, the group exists before any kill.
+  ::setpgid(pid, pid);
+  result.started = true;
+  close_fd(out_pipe[1]);
+  close_fd(err_pipe[1]);
+  ::fcntl(out_pipe[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(err_pipe[0], F_SETFL, O_NONBLOCK);
+
+  const bool limited = options.timeout.count() > 0;
+  const auto deadline = start + options.timeout;
+  // Pipe EOF alone cannot terminate the loop: a grandchild that
+  // inherited the write ends (and escaped a group kill, or simply
+  // outlives a worker that forked it) would hold them open forever.
+  // Once the direct child is reaped — or killed — draining gets a
+  // short grace deadline instead of trusting EOF.
+  auto drain_deadline = std::chrono::steady_clock::time_point::max();
+  const auto grace = std::chrono::milliseconds(2'000);
+  bool killed = false;
+  bool reaped = false;
+  int status = 0;
+  int open_ends = 2;
+  while (open_ends > 0 &&
+         std::chrono::steady_clock::now() < drain_deadline) {
+    struct pollfd fds[2];
+    nfds_t nfds = 0;
+    for (const int fd : {out_pipe[0], err_pipe[0]}) {
+      if (fd >= 0) {
+        fds[nfds].fd = fd;
+        fds[nfds].events = POLLIN;
+        fds[nfds].revents = 0;
+        ++nfds;
+      }
+    }
+    int wait_ms = 200;  // re-check the deadline periodically
+    if (limited && !killed && !reaped) {
+      // Only while the deadline can still fire — after a reap the
+      // remaining drain is bounded by drain_deadline, and clamping a
+      // negative "time left" to 0 would busy-poll it.
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      wait_ms = std::clamp<int>(static_cast<int>(left.count()), 0, 200);
+    }
+    const int ready = ::poll(fds, nfds, wait_ms);
+    if (ready < 0 && errno != EINTR) break;
+    if (out_pipe[0] >= 0 && !drain(out_pipe[0], result.out)) {
+      close_fd(out_pipe[0]);
+      --open_ends;
+    }
+    if (err_pipe[0] >= 0 && !drain(err_pipe[0], result.err)) {
+      close_fd(err_pipe[0]);
+      --open_ends;
+    }
+    // The timeout targets the direct child; once it has been reaped
+    // its (group) id may be recycled, so never signal it then — the
+    // reap already bounded the remaining drain time.
+    if (limited && !killed && !reaped &&
+        std::chrono::steady_clock::now() >= deadline) {
+      // The whole process group: `sh -c "..."` children spawn their
+      // own subprocesses, and those inherit the pipes — killing only
+      // the shell would leave the orchestrated bench running and the
+      // pipes open.
+      if (::kill(-pid, SIGKILL) != 0) ::kill(pid, SIGKILL);
+      killed = true;
+      result.timed_out = true;
+      // Keep draining briefly: the pipes reach EOF once the group is
+      // gone.
+      drain_deadline = std::chrono::steady_clock::now() + grace;
+    }
+    if (!reaped && ::waitpid(pid, &status, WNOHANG) == pid) {
+      reaped = true;
+      const auto cutoff = std::chrono::steady_clock::now() + grace;
+      if (cutoff < drain_deadline) drain_deadline = cutoff;
+    }
+  }
+  close_fd(out_pipe[0]);
+  close_fd(err_pipe[0]);
+
+  if (!reaped && limited && !killed) {
+    // Pipe EOF can precede child exit (the child closed or redirected
+    // its std fds and kept running): the deadline must keep applying
+    // while reaping, or --timeout would never fire for such a child.
+    for (;;) {
+      if (::waitpid(pid, &status, WNOHANG) == pid) {
+        reaped = true;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        if (::kill(-pid, SIGKILL) != 0) ::kill(pid, SIGKILL);
+        killed = true;
+        result.timed_out = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  if (!reaped) {
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+  }
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.term_signal = WTERMSIG(status);
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  result.wall_seconds = elapsed.count();
+  return result;
+}
+
+}  // namespace setlib::runtime

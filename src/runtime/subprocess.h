@@ -1,0 +1,59 @@
+// A small POSIX subprocess wrapper for the shard orchestrator.
+//
+// run() forks, execs argv, and captures the child's stdout and stderr
+// through pipes while enforcing an optional wall-clock timeout. A
+// child that outlives the timeout is killed (SIGKILL) and reported as
+// timed out; a child that dies on a signal reports the signal. The
+// wrapper is deliberately synchronous — the orchestrator runs one
+// blocking run() per worker thread, which is exactly the concurrency
+// model a process-per-shard driver wants.
+#ifndef SETLIB_RUNTIME_SUBPROCESS_H
+#define SETLIB_RUNTIME_SUBPROCESS_H
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace setlib::runtime {
+
+struct SubprocessResult {
+  bool started = false;    // fork/pipe succeeded and the child ran
+  bool exited = false;     // child exited normally
+  int exit_code = -1;      // valid when exited
+  int term_signal = 0;     // nonzero when the child died on a signal
+  bool timed_out = false;  // killed by the timeout
+  std::string out;         // captured stdout
+  std::string err;         // captured stderr
+  double wall_seconds = 0.0;
+
+  /// The child ran to completion and reported success.
+  bool ok() const noexcept {
+    return started && exited && exit_code == 0 && !timed_out;
+  }
+
+  /// One-line human description: "exit 0", "exit 3",
+  /// "killed by signal 9", "timed out after 1.50 s", ...
+  std::string describe() const;
+};
+
+struct SubprocessOptions {
+  /// Wall-clock budget for the child; zero means no limit.
+  std::chrono::milliseconds timeout = std::chrono::milliseconds(0);
+};
+
+class Subprocess {
+ public:
+  using Options = SubprocessOptions;
+
+  /// Runs argv[0] with arguments argv[1..] (PATH-resolved), blocking
+  /// until the child exits or the timeout kills it. argv must be
+  /// non-empty. An exec failure surfaces as exit code 127 with the
+  /// reason on captured stderr.
+  static SubprocessResult run(
+      const std::vector<std::string>& argv,
+      const SubprocessOptions& options = SubprocessOptions());
+};
+
+}  // namespace setlib::runtime
+
+#endif  // SETLIB_RUNTIME_SUBPROCESS_H

@@ -1,0 +1,199 @@
+// core::orchestrate: the multi-process shard driver. Fake "bench"
+// shell scripts stand in for the real binaries so the tests can
+// exercise the failure paths cheaply: a healthy fleet merges, a child
+// killed mid-run is retried (and the retry recorded), a permanently
+// failing shard is reported with its stderr — never silently dropped
+// — and a hung child is timed out.
+#include "src/core/orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/util/json.h"
+
+namespace setlib::core {
+namespace {
+
+class OrchestratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("orch_test_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes an executable /bin/sh script and returns its path.
+  std::string write_script(const std::string& name,
+                           const std::string& body) {
+    const std::filesystem::path path = dir_ / name;
+    {
+      std::ofstream file(path);
+      file << "#!/bin/sh\n" << body;
+    }
+    ::chmod(path.c_str(), 0755);
+    return path.string();
+  }
+
+  /// Script prologue: extracts --shard=K/N and --json=PATH (the
+  /// orchestrator appends them after the forwarded args) into
+  /// $shard, $k, $out.
+  std::string parse_args() const {
+    return R"(for a in "$@"; do
+  case "$a" in
+    --shard=*) shard=${a#--shard=} ;;
+    --json=*) out=${a#--json=} ;;
+  esac
+done
+k=${shard%/*}
+)";
+  }
+
+  /// Script epilogue: writes a minimal valid shard document with
+  /// k+1 cells in its one hand-fed section.
+  std::string write_doc() const {
+    return R"(cells=$((k+1))
+cat > "$out" <<EOF
+{"bench": "fake", "threads": 1, "repeat": 1, "shard": "$shard",
+ "sections": [{"name": "s", "cells": $cells, "wall_seconds": 0.5,
+               "runs_per_sec": 0}],
+ "total_cells": $cells, "total_wall_seconds": 0.5, "runs_per_sec": 0}
+EOF
+)";
+  }
+
+  OrchestratorOptions base_options(const std::string& bench) const {
+    OrchestratorOptions options;
+    options.bench = bench;
+    options.shards = 3;
+    options.workers = 2;
+    options.retries = 0;
+    options.timeout = std::chrono::seconds(60);
+    options.shard_dir = (dir_ / "shards").string();
+    return options;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(OrchestratorTest, HealthyFleetMergesAndShardsOutliveTheMerge) {
+  const std::string bench =
+      write_script("happy.sh", parse_args() + write_doc());
+  OrchestratorOptions options = base_options(bench);
+  options.bench_args = {"--ignored-extra-arg"};
+  const OrchestrationResult result = orchestrate(options);
+  ASSERT_TRUE(result.ok()) << result.summary();
+  for (const ShardRun& shard : result.shards) {
+    EXPECT_EQ(shard.attempts, 1);
+    EXPECT_TRUE(shard.ok);
+  }
+  // cells 1 + 2 + 3 across the shards.
+  EXPECT_EQ(result.merged.at("total_cells").as_int(), 6);
+  EXPECT_EQ(result.merged.at("shard").as_string(), "0/1");
+  // orchestrate() never deletes the shard documents — they are the
+  // run's only output until the caller persists the merged doc.
+  // Cleanup is the explicit remove_shard_documents step.
+  for (const ShardRun& shard : result.shards) {
+    EXPECT_TRUE(std::filesystem::exists(shard.json_path));
+  }
+  remove_shard_documents(options, result);
+  EXPECT_FALSE(std::filesystem::exists(options.shard_dir));
+}
+
+TEST_F(OrchestratorTest, KilledChildIsRetriedNotDropped) {
+  // First attempt of every shard dies on SIGKILL; the retry succeeds.
+  const std::string bench = write_script(
+      "flaky.sh",
+      parse_args() + "marker=\"" + dir_.string() +
+          "/died_$k\"\n"
+          "if [ ! -e \"$marker\" ]; then : > \"$marker\"; kill -9 $$; fi\n" +
+          write_doc());
+  OrchestratorOptions options = base_options(bench);
+  options.retries = 1;
+  const OrchestrationResult result = orchestrate(options);
+  ASSERT_TRUE(result.ok()) << result.summary();
+  for (const ShardRun& shard : result.shards) {
+    EXPECT_EQ(shard.attempts, 2);  // the crash is recorded, then retried
+    EXPECT_TRUE(shard.ok);
+  }
+  EXPECT_EQ(result.merged.at("total_cells").as_int(), 6);
+}
+
+TEST_F(OrchestratorTest, PermanentFailureIsReportedWithStderr) {
+  const std::string bench =
+      write_script("broken.sh", "echo boom >&2\nexit 3\n");
+  OrchestratorOptions options = base_options(bench);
+  options.retries = 1;
+  const OrchestrationResult result = orchestrate(options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.merged.is_null());  // no silently incomplete merge
+  for (const ShardRun& shard : result.shards) {
+    EXPECT_FALSE(shard.ok);
+    EXPECT_EQ(shard.attempts, 2);
+    EXPECT_EQ(shard.error, "exit 3");
+    EXPECT_NE(shard.last.err.find("boom"), std::string::npos);
+  }
+  const std::string summary = result.summary();
+  EXPECT_NE(summary.find("FAILED"), std::string::npos);
+  EXPECT_NE(summary.find("boom"), std::string::npos);
+}
+
+TEST_F(OrchestratorTest, SilentWorkerWithoutDocumentIsAFailure) {
+  const std::string bench = write_script("silent.sh", "exit 0\n");
+  const OrchestrationResult result = orchestrate(base_options(bench));
+  EXPECT_FALSE(result.ok());
+  for (const ShardRun& shard : result.shards) {
+    EXPECT_FALSE(shard.ok);
+    EXPECT_NE(shard.error.find("wrote no"), std::string::npos);
+  }
+}
+
+TEST_F(OrchestratorTest, UnparsableDocumentIsAFailure) {
+  const std::string bench = write_script(
+      "garbage.sh", parse_args() + "echo 'not json' > \"$out\"\n");
+  const OrchestrationResult result = orchestrate(base_options(bench));
+  EXPECT_FALSE(result.ok());
+  for (const ShardRun& shard : result.shards) {
+    EXPECT_NE(shard.error.find("unparsable"), std::string::npos);
+  }
+}
+
+TEST_F(OrchestratorTest, HungChildIsTimedOut) {
+  const std::string bench = write_script("hang.sh", "sleep 60\n");
+  OrchestratorOptions options = base_options(bench);
+  options.timeout = std::chrono::milliseconds(300);
+  const auto start = std::chrono::steady_clock::now();
+  const OrchestrationResult result = orchestrate(options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(result.ok());
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+  for (const ShardRun& shard : result.shards) {
+    EXPECT_TRUE(shard.last.timed_out);
+    EXPECT_NE(shard.error.find("timed out"), std::string::npos);
+  }
+}
+
+TEST_F(OrchestratorTest, KeepShardsPreservesTheShardDocuments) {
+  const std::string bench =
+      write_script("happy.sh", parse_args() + write_doc());
+  OrchestratorOptions options = base_options(bench);
+  options.keep_shards = true;
+  const OrchestrationResult result = orchestrate(options);
+  ASSERT_TRUE(result.ok()) << result.summary();
+  for (int k = 0; k < options.shards; ++k) {
+    EXPECT_TRUE(std::filesystem::exists(
+        options.shard_dir + "/shard_" + std::to_string(k) + ".json"));
+  }
+}
+
+}  // namespace
+}  // namespace setlib::core

@@ -1,0 +1,216 @@
+// The shard-document merge behind the multi-process orchestrator:
+// merging the N --shard=K/N JSON documents must reproduce the
+// unsharded document bit-identically modulo timing keys, for grid and
+// hand-fed sections alike; inconsistent inputs must throw MergeError,
+// never produce a silently incomplete document. Also pins the
+// JsonSink emission contract the merge depends on (escaping,
+// non-finite -> null, schema-consistent percentile keys).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/core/runner.h"
+#include "src/core/sweep.h"
+#include "src/util/json.h"
+
+namespace setlib::core {
+namespace {
+
+SweepGrid small_grid() {
+  SweepGrid grid;
+  RunConfig proto;
+  proto.max_steps = 150'000;
+  grid.add_spec({1, 1, 3})
+      .add_bound(2)
+      .add_bound(3)
+      .repeats(3)
+      .base_seed(17)
+      .prototype(proto);
+  return grid;  // 6 cells
+}
+
+/// Renders the document a bench invoked with --shard=k/n would write:
+/// one grid section plus one hand-fed section with a summed and an
+/// invariant annotation.
+JsonValue bench_doc(std::size_t k, std::size_t n) {
+  RunnerOptions options;
+  options.name = "merge_test";
+  options.threads = 2;
+  options.shard = {k, n};
+  ExperimentRunner runner(options);
+  JsonSink json = runner.json_sink();
+
+  runner.run(small_grid(), "grid_section", {&json});
+
+  const auto [begin, end] = runner.shard_range(10);
+  json.section("hand_fed", end - begin, 0.25,
+               {{"successes", static_cast<double>(end - begin)}});
+  json.annotate("mismatches", k == 0 ? 1.0 : 0.0);  // shard-local count
+  json.annotate("invariant_fact", 7.0, MergeRule::kSame);
+  return JsonValue::parse(json.render());
+}
+
+std::string comparable(const JsonValue& doc) {
+  return canonical_json(strip_timing_keys(doc));
+}
+
+TEST(MergeShardDocsTest, OneTwoAndThreeWayMergesMatchTheUnshardedDoc) {
+  const JsonValue full = bench_doc(0, 1);
+  for (const std::size_t n : {1u, 2u, 3u}) {
+    std::vector<JsonValue> shards;
+    for (std::size_t k = 0; k < n; ++k) shards.push_back(bench_doc(k, n));
+    const JsonValue merged = merge_shard_docs(shards);
+    EXPECT_EQ(comparable(merged), comparable(full))
+        << "merge of " << n << " shards diverged";
+    EXPECT_EQ(merged.at("shard").as_string(), "0/1");
+  }
+}
+
+TEST(MergeShardDocsTest, ShardInputOrderDoesNotMatter) {
+  const JsonValue full = bench_doc(0, 1);
+  std::vector<JsonValue> shards;
+  for (const std::size_t k : {2u, 0u, 1u}) {
+    shards.push_back(bench_doc(k, 3));
+  }
+  EXPECT_EQ(comparable(merge_shard_docs(shards)), comparable(full));
+}
+
+TEST(MergeShardDocsTest, EmptyShardsMergeCleanly) {
+  // 6 cells over 8 shards: several shards run zero cells, yet their
+  // sections must carry the same keys and the merge must still equal
+  // the unsharded run.
+  const JsonValue full = bench_doc(0, 1);
+  std::vector<JsonValue> shards;
+  for (std::size_t k = 0; k < 8; ++k) shards.push_back(bench_doc(k, 8));
+  EXPECT_EQ(comparable(merge_shard_docs(shards)), comparable(full));
+}
+
+TEST(MergeShardDocsTest, MissingShardIsAnErrorNotASilentDrop) {
+  std::vector<JsonValue> shards;
+  shards.push_back(bench_doc(0, 3));
+  shards.push_back(bench_doc(2, 3));  // shard 1/3 never arrives
+  EXPECT_THROW(merge_shard_docs(shards), MergeError);
+}
+
+TEST(MergeShardDocsTest, DuplicateShardIsAnError) {
+  std::vector<JsonValue> shards;
+  shards.push_back(bench_doc(0, 2));
+  shards.push_back(bench_doc(0, 2));
+  EXPECT_THROW(merge_shard_docs(shards), MergeError);
+}
+
+TEST(MergeShardDocsTest, DivergingConfigIsAnError) {
+  JsonValue a = bench_doc(0, 2);
+  const JsonValue b = bench_doc(1, 2);
+  a.set("bench", JsonValue::of("other_bench"));
+  EXPECT_THROW(merge_shard_docs({a, b}), MergeError);
+}
+
+TEST(MergeShardDocsTest, DisagreeingInvariantKeyIsAnError) {
+  const std::string shard0 =
+      R"({"bench": "b", "threads": 1, "repeat": 1, "shard": "0/2",
+          "sections": [{"name": "s", "cells": 1, "wall_seconds": 0,
+                        "runs_per_sec": 0, "same_keys": ["inv"],
+                        "inv": 7}],
+          "total_cells": 1, "total_wall_seconds": 0, "runs_per_sec": 0})";
+  const std::string shard1 =
+      R"({"bench": "b", "threads": 1, "repeat": 1, "shard": "1/2",
+          "sections": [{"name": "s", "cells": 1, "wall_seconds": 0,
+                        "runs_per_sec": 0, "same_keys": ["inv"],
+                        "inv": 8}],
+          "total_cells": 1, "total_wall_seconds": 0, "runs_per_sec": 0})";
+  EXPECT_THROW(merge_shard_docs({JsonValue::parse(shard0),
+                                 JsonValue::parse(shard1)}),
+               MergeError);
+}
+
+TEST(MergeShardDocsTest, EmptyInputIsAnError) {
+  EXPECT_THROW(merge_shard_docs({}), MergeError);
+}
+
+TEST(MergeShardDocsTest, MalformedShardFieldIsAnError) {
+  // stoul-style parsing would read "1e1" as 1 and defeat the
+  // missing/duplicate-shard detection.
+  const JsonValue b = bench_doc(1, 2);
+  for (const char* bad : {"1e1/2", "0 /2", "+0/2", "0/2x", "/2", "0/"}) {
+    JsonValue a = bench_doc(0, 2);
+    a.set("shard", JsonValue::of(bad));
+    EXPECT_THROW(merge_shard_docs({a, b}), MergeError) << bad;
+  }
+}
+
+TEST(JsonSinkContractTest, EveryRenderedDocumentParsesStrictly) {
+  // Hostile names and non-finite values: the emission contract says
+  // the document still round-trips through a strict parser.
+  JsonSink::Config config;
+  config.name = "we\"ird\nbench\\name";
+  config.path = "unused.json";
+  config.enabled = false;
+  JsonSink sink(config);
+  sink.section("se\"ct\tion", 2, 0.5);
+  sink.annotate("nan_fact", std::numeric_limits<double>::quiet_NaN());
+  sink.annotate("inf_fact", std::numeric_limits<double>::infinity());
+  sink.annotate("plain_fact", 3.5);
+
+  const JsonValue doc = JsonValue::parse(sink.render());
+  EXPECT_EQ(doc.at("bench").as_string(), "we\"ird\nbench\\name");
+  const JsonValue& section = doc.at("sections").items().at(0);
+  EXPECT_EQ(section.at("name").as_string(), "se\"ct\tion");
+  EXPECT_TRUE(section.at("nan_fact").is_null());
+  EXPECT_TRUE(section.at("inf_fact").is_null());
+  EXPECT_EQ(section.at("plain_fact").as_double(), 3.5);
+}
+
+TEST(JsonSinkContractTest, EmptyShardGridSectionsKeepThePercentileKeys) {
+  // Shard 6/8 of a 1-cell grid runs nothing; its grid section must
+  // still be schema-identical to a populated one (percentile keys
+  // present, null).
+  RunnerOptions options;
+  options.name = "empty_shard";
+  options.threads = 1;
+  options.shard = {6, 8};
+  ExperimentRunner runner(options);
+  JsonSink json = runner.json_sink();
+  SweepGrid grid;
+  RunConfig proto;
+  proto.max_steps = 150'000;
+  grid.add_spec({1, 1, 3}).prototype(proto);
+  runner.run(grid, "grid_section", {&json});
+
+  const JsonValue doc = JsonValue::parse(json.render());
+  const JsonValue& section = doc.at("sections").items().at(0);
+  EXPECT_EQ(section.at("cells").as_int(), 0);
+  for (const char* key :
+       {"steps_p50", "steps_p90", "steps_p99", "witness_bound_p90",
+        "cell_seconds_p50", "cell_seconds_p90", "cell_seconds_p99"}) {
+    ASSERT_NE(section.find(key), nullptr) << key;
+    EXPECT_TRUE(section.at(key).is_null()) << key;
+  }
+  EXPECT_EQ(section.at("rows").items().size(), 0u);
+}
+
+TEST(TimingKeyTest, TheRuleMatchesTheDocumentedKeys) {
+  for (const char* key :
+       {"wall_seconds", "total_wall_seconds", "runs_per_sec",
+        "cell_seconds_p50", "series_wall_seconds",
+        "rescan_wall_seconds", "speedup_vs_rescan"}) {
+    EXPECT_TRUE(is_timing_key(key)) << key;
+  }
+  for (const char* key : {"cells", "successes", "steps_p50",
+                          "series_phases", "rescan_match", "bench"}) {
+    EXPECT_FALSE(is_timing_key(key)) << key;
+  }
+}
+
+TEST(CanonicalJsonTest, KeyOrderDoesNotAffectTheCanonicalForm) {
+  const JsonValue a = JsonValue::parse(R"({"b": 1, "a": [{"y": 2, "x": 3}]})");
+  const JsonValue b = JsonValue::parse(R"({"a": [{"x": 3, "y": 2}], "b": 1})");
+  EXPECT_EQ(canonical_json(a), canonical_json(b));
+}
+
+}  // namespace
+}  // namespace setlib::core

@@ -1,0 +1,105 @@
+// The shared bench CLI: strict integer parsing. Overflowing values
+// must be rejected (strtol saturates with errno=ERANGE, which used to
+// pass silently as LONG_MAX), long->int narrowing must not wrap, and
+// malformed values fail with a message naming the flag.
+#include "src/core/sweep_cli.h"
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <string>
+#include <vector>
+
+#include "src/util/assert.h"
+
+namespace setlib::core {
+namespace {
+
+RunnerOptions parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::string prog = "prog";
+  argv.push_back(prog.data());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  int argc = static_cast<int>(argv.size());
+  return parse_runner_options(&argc, argv.data(), "cli_test");
+}
+
+TEST(SweepCliTest, ParsesAndStripsTheSharedFlags) {
+  const RunnerOptions options =
+      parse({"--threads=4", "--repeat=3", "--shard=1/3", "--grain=16",
+             "--json=out.json"});
+  EXPECT_EQ(options.threads, 4);
+  EXPECT_EQ(options.repeat, 3);
+  EXPECT_EQ(options.shard.k, 1u);
+  EXPECT_EQ(options.shard.n, 3u);
+  EXPECT_EQ(options.grain, 16u);
+  EXPECT_TRUE(options.json);
+  EXPECT_EQ(options.json_path, "out.json");
+}
+
+TEST(SweepCliTest, UnrecognizedArgsSurviveInOrder) {
+  std::vector<std::string> args = {"--benchmark_list_tests",
+                                   "--threads=2", "positional"};
+  std::vector<char*> argv;
+  std::string prog = "prog";
+  argv.push_back(prog.data());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  int argc = static_cast<int>(argv.size());
+  parse_runner_options(&argc, argv.data(), "cli_test");
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(argv[1], "--benchmark_list_tests");
+  EXPECT_STREQ(argv[2], "positional");
+}
+
+TEST(SweepCliTest, OverflowingLongIsRejectedNotSaturated) {
+  // 20 nines saturate strtol to LONG_MAX with errno=ERANGE; the old
+  // parser accepted that as a value.
+  EXPECT_THROW(parse({"--grain=99999999999999999999"}),
+               ContractViolation);
+}
+
+TEST(SweepCliTest, HugeIntFlagDoesNotWrap) {
+  // Fits in long, not in int: must be an error, not a wrapped int.
+  EXPECT_THROW(parse({"--threads=99999999999"}), ContractViolation);
+  EXPECT_THROW(parse({"--repeat=2147483648"}), ContractViolation);
+  // INT_MAX itself still parses.
+  const RunnerOptions options = parse({"--threads=2147483647"});
+  EXPECT_EQ(options.threads, INT_MAX);
+}
+
+TEST(SweepCliTest, TrailingGarbageAndEmptyValuesAreRejected) {
+  EXPECT_THROW(parse({"--threads=8x"}), ContractViolation);
+  EXPECT_THROW(parse({"--threads="}), ContractViolation);
+  EXPECT_THROW(parse({"--grain=x"}), ContractViolation);
+  EXPECT_THROW(parse({"--json="}), ContractViolation);
+}
+
+TEST(SweepCliTest, ShardFlagValidatesItsShape) {
+  EXPECT_THROW(parse({"--shard=3/3"}), ContractViolation);
+  EXPECT_THROW(parse({"--shard=-1/3"}), ContractViolation);
+  EXPECT_THROW(parse({"--shard=1"}), ContractViolation);
+  EXPECT_THROW(parse({"--shard=1/"}), ContractViolation);
+  EXPECT_THROW(parse({"--shard=99999999999999999999/3"}),
+               ContractViolation);
+}
+
+TEST(SweepCliTest, NegativeCountsAreRejected) {
+  EXPECT_THROW(parse({"--threads=-1"}), ContractViolation);
+  EXPECT_THROW(parse({"--repeat=0"}), ContractViolation);
+  EXPECT_THROW(parse({"--grain=-5"}), ContractViolation);
+}
+
+TEST(SweepCliTest, ParseValueHelpersNameTheFlag) {
+  try {
+    parse_int_value("99999999999", "--workers=");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("--workers="),
+              std::string::npos);
+  }
+  EXPECT_EQ(parse_int_value("12", "--workers="), 12);
+  EXPECT_EQ(parse_long_value("-3", "--x="), -3);
+}
+
+}  // namespace
+}  // namespace setlib::core

@@ -97,6 +97,29 @@ TEST(ExecutorTest, LocalDonePredicateEvaluatedByOwnThread) {
   EXPECT_GE(calls.load(), 2);
 }
 
+TEST(ExecutorTest, MaxOpsExitEndsRunWithoutWaitingForMaxWall) {
+  // Regression: a process that leaves its loop via the op budget is
+  // neither done nor crashed, and the monitor used to spin until
+  // max_wall (10 s default) even though every thread had returned.
+  // With exited-thread tracking the run must end in milliseconds.
+  RtMemory mem;
+  const auto r0 = mem.alloc("r0");
+  const auto r1 = mem.alloc("r1");
+  ThreadedExecutor exec(mem, 2);
+  exec.process(0).add_task(spin(r0), "spin");
+  exec.process(1).add_task(spin(r1), "spin");
+  Pacer pacer(2, {}, false);
+  ThreadedExecutor::Options options;
+  options.max_ops_per_process = 200;
+  options.max_wall = std::chrono::milliseconds(10'000);
+  const auto stats = exec.run(pacer, options);
+  EXPECT_FALSE(stats.all_done);  // budget exit is not "done"
+  EXPECT_FALSE(stats.wall_expired);
+  EXPECT_EQ(stats.total_ops, 400);
+  // Well under max_wall: milliseconds, not 10 s (generous CI margin).
+  EXPECT_LT(stats.elapsed, std::chrono::milliseconds(2'000));
+}
+
 TEST(ExecutorTest, MaxOpsBudgetStopsThreads) {
   RtMemory mem;
   const auto r = mem.alloc("r");

@@ -1,0 +1,106 @@
+// runtime::Subprocess: capture, exit/signal reporting, timeout kill,
+// and exec-failure surfacing.
+#include "src/runtime/subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+namespace setlib::runtime {
+namespace {
+
+SubprocessResult sh(const std::string& script,
+                    std::chrono::milliseconds timeout =
+                        std::chrono::milliseconds(0)) {
+  Subprocess::Options options;
+  options.timeout = timeout;
+  return Subprocess::run({"/bin/sh", "-c", script}, options);
+}
+
+TEST(SubprocessTest, CapturesStdoutStderrAndExitCode) {
+  const SubprocessResult result = sh("echo out; echo err >&2; exit 3");
+  EXPECT_TRUE(result.started);
+  EXPECT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, 3);
+  EXPECT_EQ(result.out, "out\n");
+  EXPECT_EQ(result.err, "err\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.describe(), "exit 3");
+}
+
+TEST(SubprocessTest, SuccessIsOk) {
+  const SubprocessResult result = sh("exit 0");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.describe(), "exit 0");
+}
+
+TEST(SubprocessTest, SignalDeathIsReported) {
+  const SubprocessResult result = sh("kill -9 $$");
+  EXPECT_TRUE(result.started);
+  EXPECT_FALSE(result.exited);
+  EXPECT_EQ(result.term_signal, 9);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.describe(), "killed by signal 9");
+}
+
+TEST(SubprocessTest, TimeoutKillsTheChildQuickly) {
+  const auto start = std::chrono::steady_clock::now();
+  const SubprocessResult result =
+      sh("sleep 30", std::chrono::milliseconds(200));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_FALSE(result.ok());
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  EXPECT_NE(result.describe().find("timed out"), std::string::npos);
+}
+
+TEST(SubprocessTest, TimeoutFiresEvenAfterTheChildClosedItsPipes) {
+  // A child that redirects its std fds releases the pipes (EOF)
+  // while still running; the deadline must keep applying through the
+  // reap phase or run() would block forever on waitpid.
+  const auto start = std::chrono::steady_clock::now();
+  const SubprocessResult result =
+      sh("exec >/dev/null 2>&1; sleep 30",
+         std::chrono::milliseconds(300));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_FALSE(result.ok());
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
+TEST(SubprocessTest, ExitedChildWithLingeringGrandchildDoesNotHang) {
+  // The background sleep inherits the pipe write ends, so EOF never
+  // comes while it lives; reaping the exited child must bound the
+  // drain instead of waiting out the grandchild (30 s).
+  const auto start = std::chrono::steady_clock::now();
+  const SubprocessResult result = sh("sleep 30 & echo done");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.out, "done\n");
+  EXPECT_LT(elapsed, std::chrono::seconds(15));
+}
+
+TEST(SubprocessTest, ExecFailureSurfacesAsExit127) {
+  const SubprocessResult result =
+      Subprocess::run({"/nonexistent/binary/for/sure"});
+  EXPECT_TRUE(result.started);
+  EXPECT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, 127);
+  EXPECT_NE(result.err.find("exec failed"), std::string::npos);
+}
+
+TEST(SubprocessTest, LargeOutputDoesNotDeadlockThePipes) {
+  // Well past the pipe buffer on both streams at once: the poll loop
+  // must keep draining or the child blocks forever on write().
+  const SubprocessResult result = sh(
+      "i=0; while [ $i -lt 2000 ]; do "
+      "printf '%0100d\\n' $i; printf '%0100d\\n' $i >&2; "
+      "i=$((i+1)); done");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.out.size(), 2000u * 101u);
+  EXPECT_EQ(result.err.size(), 2000u * 101u);
+}
+
+}  // namespace
+}  // namespace setlib::runtime

@@ -1,0 +1,194 @@
+// sweep_orchestrator: multi-process shard driver for the bench
+// binaries.
+//
+//   sweep_orchestrator <bench> [--shards=N] [--workers=M]
+//                      [--retries=R] [--timeout=SECONDS] [--out=PATH]
+//                      [--shard-dir=DIR] [--keep-shards]
+//                      [-- <args forwarded to every worker>]
+//
+// Launches the N `--shard=K/N --json=<shard-dir>/shard_K.json` child
+// processes (at most M concurrently), retries shards that crash, time
+// out, or write unparsable JSON, and merges the N shard documents
+// into one --out document bit-identical (modulo timing keys) to the
+// unsharded `--json` run. A shard that keeps failing is reported with
+// its captured stderr and the orchestrator exits nonzero — a merge is
+// never silently incomplete.
+//
+// The merge alone is exposed as
+//
+//   sweep_orchestrator --merge-only --out=PATH SHARD.json...
+//
+// which is the promoted form of scripts/check_shard_union.py's old
+// row-concatenation logic (the script now just diffs documents).
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/orchestrator.h"
+#include "src/core/report.h"
+#include "src/core/sweep_cli.h"
+#include "src/util/assert.h"
+#include "src/util/json.h"
+
+using namespace setlib;
+
+namespace {
+
+constexpr const char* kUsage = R"(usage:
+  sweep_orchestrator <bench> [--shards=N] [--workers=M] [--retries=R]
+                     [--timeout=SECONDS] [--out=PATH] [--shard-dir=DIR]
+                     [--keep-shards] [-- <args forwarded to workers>]
+  sweep_orchestrator --merge-only [--out=PATH] SHARD.json...
+
+Runs the N --shard=K/N --json workers of one bench binary (at most M
+at a time), retries crashed/timed-out shards, and merges the shard
+documents into --out (default MERGED.json) — bit-identical, modulo
+timing keys, to the unsharded --json run. --merge-only skips the
+launching and merges already-written shard documents.
+)";
+
+int fail_usage(const std::string& message) {
+  std::cerr << "sweep_orchestrator: " << message << "\n" << kUsage;
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream file(path);
+  if (!file.good()) return false;
+  file << text;
+  return file.good();
+}
+
+int merge_only(const std::string& out_path,
+               const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    return fail_usage("--merge-only needs at least one shard document");
+  }
+  std::vector<JsonValue> docs;
+  docs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream file(path);
+    if (!file.good()) {
+      std::cerr << "sweep_orchestrator: cannot read " << path << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    try {
+      docs.push_back(JsonValue::parse(buffer.str()));
+    } catch (const JsonParseError& e) {
+      std::cerr << "sweep_orchestrator: " << path << ": " << e.what()
+                << "\n";
+      return 1;
+    }
+  }
+  try {
+    const JsonValue merged = core::merge_shard_docs(docs);
+    if (!write_file(out_path, merged.dump(1))) {
+      std::cerr << "sweep_orchestrator: cannot write " << out_path
+                << "\n";
+      return 1;
+    }
+    std::cout << "merged " << paths.size() << " shard document"
+              << (paths.size() == 1 ? "" : "s") << " -> " << out_path
+              << "\n";
+    return 0;
+  } catch (const core::MergeError& e) {
+    std::cerr << "sweep_orchestrator: merge failed: " << e.what()
+              << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::OrchestratorOptions options;
+  std::string out_path = "MERGED.json";
+  bool merge_only_mode = false;
+  std::vector<std::string> positional;
+
+  try {
+    int i = 1;
+    for (; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--") {
+        // Everything after -- goes to the workers verbatim.
+        for (++i; i < argc; ++i) options.bench_args.push_back(argv[i]);
+        break;
+      }
+      if (arg == "--merge-only") {
+        merge_only_mode = true;
+        continue;
+      }
+      if (arg == "--keep-shards") {
+        options.keep_shards = true;
+        continue;
+      }
+      if (core::consume_int_flag(arg, "--shards=", &options.shards)) continue;
+      if (core::consume_int_flag(arg, "--workers=", &options.workers)) {
+        continue;
+      }
+      if (core::consume_int_flag(arg, "--retries=", &options.retries)) {
+        continue;
+      }
+      int timeout_seconds = 0;
+      if (core::consume_int_flag(arg, "--timeout=", &timeout_seconds)) {
+        if (timeout_seconds < 0) {
+          return fail_usage("--timeout= must be >= 0");
+        }
+        options.timeout = std::chrono::seconds(timeout_seconds);
+        continue;
+      }
+      if (arg.rfind("--out=", 0) == 0) {
+        out_path = arg.substr(6);
+        if (out_path.empty()) return fail_usage("--out= is empty");
+        continue;
+      }
+      if (arg.rfind("--shard-dir=", 0) == 0) {
+        options.shard_dir = arg.substr(12);
+        if (options.shard_dir.empty()) {
+          return fail_usage("--shard-dir= is empty");
+        }
+        continue;
+      }
+      if (arg.rfind("--", 0) == 0) {
+        return fail_usage("unknown flag " + arg);
+      }
+      positional.push_back(arg);
+    }
+  } catch (const ContractViolation& e) {
+    return fail_usage(e.what());
+  }
+
+  if (merge_only_mode) return merge_only(out_path, positional);
+
+  if (positional.size() != 1) {
+    return fail_usage("expected exactly one bench binary");
+  }
+  options.bench = positional[0];
+  if (options.shards < 1) return fail_usage("--shards= must be >= 1");
+  if (options.workers < 0) return fail_usage("--workers= must be >= 0");
+  if (options.retries < 0) return fail_usage("--retries= must be >= 0");
+
+  const core::OrchestrationResult result = core::orchestrate(options);
+  std::cout << result.summary();
+  if (!result.ok()) {
+    std::cerr << "sweep_orchestrator: incomplete run, not writing "
+              << out_path << "\n";
+    return 1;
+  }
+  if (!write_file(out_path, result.merged.dump(1))) {
+    std::cerr << "sweep_orchestrator: cannot write " << out_path
+              << " (shard documents kept in " << options.shard_dir
+              << ")\n";
+    return 1;
+  }
+  // Only now are the shard documents redundant.
+  if (!options.keep_shards) core::remove_shard_documents(options, result);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
