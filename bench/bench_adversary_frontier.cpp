@@ -1,0 +1,223 @@
+// EXP-ADV — the adversary-family frontier.
+//
+// The paper quantifies timeliness over every schedule the adversary
+// can produce, so each randomized family (src/sched/families.h) is an
+// experiment in its own right: which (i, j) pairs still admit a
+// timely pair — i.e. for which systems S^i_{j,n} does the family keep
+// producing member schedules — and how does the full agreement stack
+// fare against it?
+//
+// Two sections, both shard-aware through the ExperimentRunner:
+//
+//   - family_grid: run_agreement for (2,2,5)-agreement in its matching
+//     system against the friendly baseline plus every randomized
+//     family, `--repeat` seeds per family. The grid section carries
+//     the multi-seed dispersion keys (ci_* 95% intervals) in
+//     BENCH_adversary_frontier.json.
+//
+//   - frontier_map: for every registry family and every 1 <= i <= j
+//     <= n, generate a seeded schedule and find the best achievable
+//     (|P| = i, |Q| = j) bound with the packed RankedPairScan; a cell
+//     is a member when the bound stays within the cap. Every cell
+//     also re-checks its best pair against
+//     min_timeliness_bound_reference, so the packed analyzer is
+//     differentially pinned on every family's schedules; mismatches
+//     are counted (and summed across shards) in the JSON.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+#include "src/core/solvability.h"
+#include "src/core/sweep.h"
+#include "src/core/sweep_cli.h"
+#include "src/sched/analyzer.h"
+#include "src/sched/families.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace setlib;
+
+void print_family_grid(core::ExperimentRunner& runner,
+                       core::JsonSink& json) {
+  core::SweepGrid grid;
+  core::RunConfig proto;
+  proto.max_steps = 250'000;
+  grid.add_spec({2, 2, 5})
+      .add_family(core::ScheduleFamily::kEnforcedRandom);
+  for (const auto family : core::randomized_families()) {
+    grid.add_family(family);
+  }
+  grid.add_bound(3)
+      .repeats(runner.options().repeat)
+      .base_seed(47)
+      .prototype(proto);
+
+  core::TableSink table;
+  core::AggregateSink agg;
+  runner.run(grid, "family_grid", {&table, &agg, &json});
+  const core::SweepAggregate& a = agg.aggregate();
+  std::cout << "EXP-ADV: (2,2,5)-agreement in S^2_{3,5} vs the "
+               "adversary families (repeat="
+            << runner.options().repeat
+            << ", threads=" << runner.pool().threads() << ")\n"
+            << table.render();
+  if (!a.steps.empty()) {
+    std::cout << "  steps mean " << a.steps.mean() << " +/- "
+              << ci95_halfwidth(a.steps) << ", witness bound mean "
+              << a.witness_bound.mean() << " +/- "
+              << ci95_halfwidth(a.witness_bound) << " (95% CI over "
+              << a.cells << " cells)\n";
+  }
+  std::cout << "\n";
+}
+
+struct FrontierCell {
+  std::size_t family = 0;  // index into sched::schedule_families()
+  int i = 0;
+  int j = 0;
+  std::int64_t best_bound = 0;
+  bool member = false;          // best_bound <= kBoundCap
+  bool reference_match = true;  // packed == reference on the best pair
+};
+
+constexpr int kFrontierN = 5;
+constexpr std::int64_t kFrontierLen = 20'000;
+constexpr std::int64_t kBoundCap = 4;
+constexpr std::uint64_t kFrontierSeed = 77;
+
+/// JSON annotation token for a family ("crash-prone" -> "crash_prone").
+std::string family_key(const std::string& name) {
+  std::string key = name;
+  std::replace(key.begin(), key.end(), '-', '_');
+  return key;
+}
+
+void print_frontier_map(core::ExperimentRunner& runner,
+                        core::JsonSink& json) {
+  const auto& families = sched::schedule_families();
+  // Flat cell space: family-major, then (i, j) in row-major order.
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 1; i <= kFrontierN; ++i) {
+    for (int j = i; j <= kFrontierN; ++j) pairs.emplace_back(i, j);
+  }
+  const std::size_t count = families.size() * pairs.size();
+
+  core::WallTimer timer;
+  const auto cells = runner.map<FrontierCell>(count, [&](std::size_t idx) {
+    FrontierCell cell;
+    cell.family = idx / pairs.size();
+    cell.i = pairs[idx % pairs.size()].first;
+    cell.j = pairs[idx % pairs.size()].second;
+    sched::FamilyParams params;
+    params.n = kFrontierN;
+    params.scale = 64;
+    params.crash_count = 2;
+    params.crash_horizon = kFrontierLen / 2;
+    params.gst = kFrontierLen / 4;
+    const std::uint64_t seed =
+        core::derive_cell_seed(kFrontierSeed, idx);
+    auto gen =
+        sched::make_family(families[cell.family].kind, params, seed);
+    const sched::Schedule s = sched::generate(*gen, kFrontierLen);
+    const sched::PackedSchedule packed(s);
+    const sched::TimelyPair best =
+        sched::RankedPairScan(packed, cell.i, cell.j).best_pair();
+    cell.best_bound = best.bound;
+    cell.member = best.bound <= kBoundCap;
+    cell.reference_match =
+        sched::min_timeliness_bound_reference(
+            s, best.timely_set, best.observed_set) == best.bound;
+    return cell;
+  });
+  const double wall = timer.seconds();
+
+  // Built by append: `const char* + std::string&&` chains trip the
+  // GCC 12 -Wrestrict false positive (PR105651, see core/spec.h).
+  std::string member_header = "member (cap ";
+  member_header.append(std::to_string(kBoundCap)).append(")");
+  TextTable table({"family", "(i,j)", "best bound", member_header});
+  std::vector<double> members(families.size(), 0.0);
+  double mismatches = 0.0;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const FrontierCell& cell = cells[c];
+    std::string pair_label = "(";
+    pair_label.append(std::to_string(cell.i))
+        .append(",")
+        .append(std::to_string(cell.j))
+        .append(")");
+    table.row()
+        .cell(families[cell.family].name)
+        .cell(pair_label)
+        .cell(cell.best_bound)
+        .cell(cell.member ? "yes" : "no");
+    members[cell.family] += cell.member ? 1.0 : 0.0;
+    mismatches += cell.reference_match ? 0.0 : 1.0;
+  }
+  std::cout << "EXP-ADVb: which (i,j) bounds does each family keep? "
+               "(n=" << kFrontierN << ", " << kFrontierLen
+            << "-step prefixes, best pair per cell)\n"
+            << table.render()
+            << "  packed-vs-reference mismatches: " << mismatches
+            << "\n\n";
+
+  json.section("frontier_map", cells.size(), wall);
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    json.annotate("members_" + family_key(families[f].name), members[f]);
+  }
+  json.annotate("reference_mismatches", mismatches);
+}
+
+void BM_FamilyGenerate(benchmark::State& state) {
+  const auto& families = sched::schedule_families();
+  const sched::FamilyInfo& info =
+      families[static_cast<std::size_t>(state.range(0))];
+  sched::FamilyParams params;
+  params.n = 16;
+  params.crash_count = 4;
+  for (auto _ : state) {
+    auto gen = sched::make_family(info.kind, params, 42);
+    benchmark::DoNotOptimize(sched::generate(*gen, 1 << 14));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 14));
+  state.SetLabel(info.name);
+}
+BENCHMARK(BM_FamilyGenerate)->DenseRange(0, 5);
+
+void BM_FrontierCellScan(benchmark::State& state) {
+  sched::FamilyParams params;
+  params.n = kFrontierN;
+  params.crash_count = 2;
+  params.crash_horizon = kFrontierLen / 2;
+  auto gen =
+      sched::make_family(sched::FamilyKind::kBursty, params, 42);
+  const sched::Schedule s = sched::generate(*gen, kFrontierLen);
+  const sched::PackedSchedule packed(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::RankedPairScan(packed, 2, 4).best_pair());
+  }
+}
+BENCHMARK(BM_FrontierCellScan)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options =
+      core::parse_runner_options(&argc, argv, "adversary_frontier");
+  core::ExperimentRunner runner(options);
+  core::JsonSink json = runner.json_sink();
+  print_family_grid(runner, json);
+  print_frontier_map(runner, json);
+  json.write_if_requested();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

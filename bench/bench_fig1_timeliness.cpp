@@ -20,9 +20,12 @@
 #include <iostream>
 
 #include "src/core/experiments.h"
+#include "src/core/report.h"
+#include "src/core/sweep.h"
 #include "src/core/sweep_cli.h"
 #include "src/sched/analyzer.h"
 #include "src/sched/generators.h"
+#include "src/util/stats.h"
 #include "src/util/table.h"
 
 namespace {
@@ -121,6 +124,44 @@ void print_series_speedup(core::ExperimentRunner& runner,
                 core::MergeRule::kSame);
 }
 
+void print_family_sweep(core::ExperimentRunner& runner,
+                        core::JsonSink& json) {
+  // EXP-F1c: the Figure 1 setting (n = 3) under the randomized
+  // adversary families, `--repeat` seeds per point. The grid section
+  // ("adversary_families") carries the multi-seed dispersion keys
+  // (steps_mean/stddev, witness_bound_mean/stddev, success_rate and
+  // their ci_* 95% intervals) in BENCH_fig1_timeliness.json.
+  core::SweepGrid grid;
+  core::RunConfig proto;
+  proto.max_steps = 200'000;
+  grid.add_spec({1, 1, 3})
+      .add_family(core::ScheduleFamily::kEnforcedRandom);
+  for (const auto family : core::randomized_families()) {
+    grid.add_family(family);
+  }
+  // One bound only: the enforced bound matters to the friendly family
+  // alone (the randomized adversaries ignore it), so a bound axis
+  // would just duplicate the randomized rows under a misleading label.
+  grid.add_bound(2)
+      .repeats(runner.options().repeat)
+      .base_seed(29)
+      .prototype(proto);
+
+  core::TableSink table;
+  core::AggregateSink agg;
+  runner.run(grid, "adversary_families", {&table, &agg, &json});
+  const core::SweepAggregate& a = agg.aggregate();
+  std::cout << "EXP-F1c: (1,1,3)-agreement vs the adversary families "
+               "(repeat=" << runner.options().repeat << ")\n"
+            << table.render();
+  if (!a.witness_bound.empty()) {
+    std::cout << "  witness bound mean " << a.witness_bound.mean()
+              << " +/- " << ci95_halfwidth(a.witness_bound)
+              << " (95% CI over " << a.cells << " cells)\n";
+  }
+  std::cout << "\n";
+}
+
 void BM_Figure1Generate(benchmark::State& state) {
   const std::int64_t steps = state.range(0);
   for (auto _ : state) {
@@ -215,6 +256,7 @@ int main(int argc, char** argv) {
   core::JsonSink json = runner.json_sink();
   print_figure1_table(runner, json);
   print_series_speedup(runner, json);
+  print_family_sweep(runner, json);
   json.write_if_requested();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

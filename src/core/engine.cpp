@@ -11,6 +11,7 @@
 #include "src/fd/property.h"
 #include "src/sched/analyzer.h"
 #include "src/sched/enforcer.h"
+#include "src/sched/families.h"
 #include "src/shm/memory.h"
 #include "src/shm/simulator.h"
 #include "src/util/assert.h"
@@ -85,6 +86,57 @@ FamilySetup make_starver(const RunConfig& cfg) {
   return setup;
 }
 
+sched::FamilyParams randomized_params(const RunConfig& cfg) {
+  sched::FamilyParams params;
+  params.n = cfg.spec.n;
+  params.scale = cfg.adversary_scale;
+  // Crash-prone stays inside the spec's resilience budget, so the
+  // validator's termination clause still quantifies over a legal
+  // faulty set; crash steps and the GST switch scale with the run so
+  // both eras are actually exercised.
+  params.crash_count = std::min(cfg.spec.t, cfg.spec.n - 1);
+  params.crash_horizon = std::max<std::int64_t>(1, cfg.max_steps / 2);
+  params.gst = std::max<std::int64_t>(1, cfg.max_steps / 8);
+  return params;
+}
+
+FamilySetup make_randomized(const RunConfig& cfg) {
+  const int n = cfg.spec.n;
+  FamilySetup setup(n);
+  // The canonical witness pair: these families promise nothing about
+  // S^i_{j,n} membership, so the measured witness_bound on
+  // (range(0,i), range(0,j)) is the observable — the frontier bench
+  // maps it per family.
+  setup.timely_set = ProcSet::range(0, cfg.system.i);
+  setup.observed_set = ProcSet::range(0, cfg.system.j);
+  const sched::FamilyParams params = randomized_params(cfg);
+  switch (cfg.family) {
+    case ScheduleFamily::kBursty:
+      setup.generator = sched::make_family(sched::FamilyKind::kBursty,
+                                           params, cfg.seed);
+      break;
+    case ScheduleFamily::kStarvation:
+      setup.generator = sched::make_family(sched::FamilyKind::kStarvation,
+                                           params, cfg.seed);
+      break;
+    case ScheduleFamily::kCrashProne:
+      // The simulator must mirror the generator's crashes so the
+      // validator sees the same faulty set; crash_prone_plan is
+      // exactly the plan make_family embeds.
+      setup.plan = sched::crash_prone_plan(params, cfg.seed);
+      setup.generator = sched::make_family(sched::FamilyKind::kCrashProne,
+                                           params, cfg.seed);
+      break;
+    case ScheduleFamily::kGst:
+      setup.generator =
+          sched::make_family(sched::FamilyKind::kGst, params, cfg.seed);
+      break;
+    default:
+      SETLIB_ASSERT(false);
+  }
+  return setup;
+}
+
 }  // namespace
 
 RunReport run_agreement(const RunConfig& cfg) {
@@ -110,6 +162,11 @@ RunReport run_agreement(const RunConfig& cfg) {
         return make_rotisserie(cfg);
       case ScheduleFamily::kKSubsetStarver:
         return make_starver(cfg);
+      case ScheduleFamily::kBursty:
+      case ScheduleFamily::kStarvation:
+      case ScheduleFamily::kCrashProne:
+      case ScheduleFamily::kGst:
+        return make_randomized(cfg);
     }
     SETLIB_ASSERT(false);
     return make_friendly(cfg);

@@ -40,6 +40,16 @@ enum class ScheduleFamily {
   /// in S^i_{j,n} for every i > k, yet no k-set is timely w.r.t.
   /// anything — the adversary for the i > k side of Theorem 27.
   kKSubsetStarver,
+  // Randomized adversary families (src/sched/families.h), seeded per
+  // cell. Unlike the constructions above, these make no S^i_{j,n}
+  // membership promise: the witness pair is the canonical
+  // (range(0,i), range(0,j)) and the measured witness_bound reports
+  // what the adversary actually allowed — the frontier bench maps
+  // which families keep which (i, j) bounds.
+  kBursty,      // long seeded solo runs per process
+  kStarvation,  // seeded victim silenced for geometric stretches
+  kCrashProne,  // tail processes permanently silenced at seeded steps
+  kGst,         // chaotic seeded prefix, then round-robin
 };
 
 struct RunConfig {
@@ -51,6 +61,9 @@ struct RunConfig {
   std::int64_t max_steps = 1'500'000;
   std::int64_t timeliness_bound = 3;  // enforced bound (friendly family)
   std::int64_t rotisserie_growth = 512;  // steps added per phase
+  /// Burst / starvation-stretch scale of the randomized adversary
+  /// families (sched::FamilyParams::scale).
+  std::int64_t adversary_scale = 64;
   std::int64_t stabilization_window = 6;  // detector quiescence (iterations)
 
   /// Extra crashes (friendly family only; the rotisserie derives its own

@@ -85,6 +85,66 @@ std::string TableSink::render() const {
   return table.render();
 }
 
+namespace {
+
+/// The multi-seed dispersion facts over one group of rows — a whole
+/// section, or one grid point's `--repeat` rows: mean / sample-based
+/// stddev surrogate (Summary::stddev), 95% Student-t CI of the mean,
+/// and the success rate with its proportion CI. Returned as
+/// (key, value) pairs in emission order; NaN (rendered null) when the
+/// group is empty. Shared by JsonSink emission and merge_section
+/// recomputation, so the two cannot drift apart — that textual
+/// identity is what keeps orchestrated merges bit-identical to
+/// unsharded runs.
+std::vector<std::pair<std::string, double>> dispersion_stats(
+    const Summary& steps, const Summary& witness, std::size_t successes,
+    std::size_t rows) {
+  const double empty = std::numeric_limits<double>::quiet_NaN();
+  auto mean_of = [&empty](const Summary& s) {
+    return s.empty() ? empty : s.mean();
+  };
+  auto stddev_of = [&empty](const Summary& s) {
+    return s.empty() ? empty : s.stddev();
+  };
+  auto ci_lo = [&empty](const Summary& s) {
+    return s.empty() ? empty : s.mean() - ci95_halfwidth(s);
+  };
+  auto ci_hi = [&empty](const Summary& s) {
+    return s.empty() ? empty : s.mean() + ci95_halfwidth(s);
+  };
+  const double rate = rows == 0 ? empty
+                                : static_cast<double>(successes) /
+                                      static_cast<double>(rows);
+  std::vector<std::pair<std::string, double>> out;
+  out.emplace_back("steps_mean", mean_of(steps));
+  out.emplace_back("steps_stddev", stddev_of(steps));
+  out.emplace_back("ci_steps_low", ci_lo(steps));
+  out.emplace_back("ci_steps_high", ci_hi(steps));
+  out.emplace_back("witness_bound_mean", mean_of(witness));
+  out.emplace_back("witness_bound_stddev", stddev_of(witness));
+  out.emplace_back("ci_witness_bound_low", ci_lo(witness));
+  out.emplace_back("ci_witness_bound_high", ci_hi(witness));
+  out.emplace_back("success_rate", rate);
+  out.emplace_back("ci_success_low",
+                   rows == 0 ? empty
+                             : rate - ci95_proportion_halfwidth(rate, rows));
+  out.emplace_back("ci_success_high",
+                   rows == 0 ? empty
+                             : rate + ci95_proportion_halfwidth(rate, rows));
+  return out;
+}
+
+/// One grid point's rows: global cell index / repeat factor.
+struct PointGroup {
+  std::int64_t point = 0;
+  std::size_t cells = 0;
+  std::size_t successes = 0;
+  Summary steps;
+  Summary witness;
+};
+
+}  // namespace
+
 JsonSink::JsonSink(Config config) : config_(std::move(config)) {}
 
 void JsonSink::begin_section(const std::string& name, std::size_t,
@@ -139,6 +199,18 @@ void JsonSink::end_section(const SectionStats& stats) {
   extra.emplace_back("steps_p90", pct(stats.steps, 90.0));
   extra.emplace_back("steps_p99", pct(stats.steps, 99.0));
   extra.emplace_back("witness_bound_p90", pct(witness, 90.0));
+  // Multi-seed dispersion pooled across the section's rows; the
+  // per-point breakdown (one group per grid point, across its
+  // --repeat seeds) is rendered as the point_stats array. Both are
+  // pure functions of the rows, so merge_shard_docs recomputes them
+  // from the union rows with the same dispersion_stats arithmetic and
+  // merged documents stay bit-identical to unsharded ones.
+  for (const auto& fact : dispersion_stats(
+           stats.steps, witness, successes, pending_.rows.size())) {
+    extra.push_back(fact);
+  }
+  SETLIB_EXPECTS(stats.repeats >= 1);
+  pending_.repeat_factor = stats.repeats;
   // Per-cell wall latency percentiles: the only non-deterministic
   // section facts besides wall_seconds/runs_per_sec (keys prefixed
   // cell_seconds_ so determinism diffs can strip them).
@@ -203,10 +275,46 @@ std::string JsonSink::render() const {
       os << ", " << json_quote(key) << ": " << json_number(value);
     }
     if (sec.from_grid) {
+      // Per-point multi-seed statistics: rows grouped by grid point
+      // (global index / repeat_factor), each group carrying the same
+      // dispersion keys as the pooled section scalars. Rows within a
+      // shard are contiguous ascending indices, so one linear pass
+      // groups them.
+      os << ", \"repeat_factor\": " << sec.repeat_factor;
+      os << ", \"point_stats\": [";
+      std::size_t r = 0;
+      bool first_group = true;
+      while (r < sec.rows.size()) {
+        PointGroup group;
+        group.point = static_cast<std::int64_t>(sec.rows[r].index) /
+                      sec.repeat_factor;
+        while (r < sec.rows.size() &&
+               static_cast<std::int64_t>(sec.rows[r].index) /
+                       sec.repeat_factor ==
+                   group.point) {
+          const CellRow& row = sec.rows[r];
+          ++group.cells;
+          if (row.success) ++group.successes;
+          group.steps.add(static_cast<double>(row.steps));
+          group.witness.add(static_cast<double>(row.witness_bound));
+          ++r;
+        }
+        os << (first_group ? "" : ", ") << "{\"point\": " << group.point
+           << ", \"cells\": " << group.cells;
+        for (const auto& [key, value] :
+             dispersion_stats(group.steps, group.witness,
+                              group.successes, group.cells)) {
+          os << ", " << json_quote(key) << ": " << json_number(value);
+        }
+        os << "}";
+        first_group = false;
+      }
+      os << "]";
       os << ", \"rows\": [";
-      for (std::size_t r = 0; r < sec.rows.size(); ++r) {
-        const CellRow& row = sec.rows[r];
-        os << (r == 0 ? "" : ", ") << "{\"index\": " << row.index
+      for (std::size_t row_idx = 0; row_idx < sec.rows.size();
+           ++row_idx) {
+        const CellRow& row = sec.rows[row_idx];
+        os << (row_idx == 0 ? "" : ", ") << "{\"index\": " << row.index
            << ", \"success\": " << (row.success ? 1 : 0)
            << ", \"detector_ok\": " << (row.detector_ok ? 1 : 0)
            << ", \"distinct\": " << row.distinct_decisions
@@ -303,11 +411,19 @@ bool is_cell_seconds_key(const std::string& key) {
 }
 
 /// Keys a grid section derives from its rows; recomputed on merge.
+/// The ci_* / *_mean / *_stddev / success_rate dispersion keys are in
+/// this set on purpose: none of them contains a timing substring, but
+/// even one that did would be recomputed here before is_timing_key is
+/// ever consulted (grid stats are checked first in merge_section).
 bool is_grid_stat_key(const std::string& key) {
   return key == "grid_cells" || key == "successes" ||
          key == "detector_ok" || key == "steps_p50" ||
          key == "steps_p90" || key == "steps_p99" ||
-         key == "witness_bound_p90" || is_cell_seconds_key(key);
+         key == "witness_bound_p90" || key == "steps_mean" ||
+         key == "steps_stddev" || key == "witness_bound_mean" ||
+         key == "witness_bound_stddev" || key == "success_rate" ||
+         key == "repeat_factor" || key == "point_stats" ||
+         key.rfind("ci_", 0) == 0 || is_cell_seconds_key(key);
 }
 
 /// The section skeleton every JsonSink section shares.
@@ -446,6 +562,50 @@ JsonValue merge_section(const std::vector<const JsonValue*>& parts) {
     out.set("steps_p90", JsonValue::of(pct(steps, 90.0)));
     out.set("steps_p99", JsonValue::of(pct(steps, 99.0)));
     out.set("witness_bound_p90", JsonValue::of(pct(witness, 90.0)));
+    // The multi-seed dispersion keys — pooled scalars and the
+    // per-point breakdown — recomputed from the union rows in shard
+    // (= cell) order through the same dispersion_stats helper the
+    // JsonSink emits with, so the merged values are bit-identical to
+    // the unsharded run's.
+    for (const auto& [key, value] :
+         dispersion_stats(steps, witness, successes, rows.size())) {
+      out.set(key, JsonValue::of(value));
+    }
+    const JsonValue& repeat_factor = parts[0]->at("repeat_factor");
+    for (const JsonValue* part : parts) {
+      if (!(part->at("repeat_factor") == repeat_factor)) {
+        throw MergeError("section \"" + name +
+                         "\": shards disagree on repeat_factor");
+      }
+    }
+    out.set("repeat_factor", repeat_factor);
+    const std::int64_t rf = std::max<std::int64_t>(
+        1, repeat_factor.as_int());
+    std::vector<JsonValue> points;
+    std::size_t r = 0;
+    while (r < rows.size()) {
+      PointGroup group;
+      group.point = rows[r].at("index").as_int() / rf;
+      while (r < rows.size() &&
+             rows[r].at("index").as_int() / rf == group.point) {
+        const JsonValue& row = rows[r];
+        ++group.cells;
+        if (row.at("success").as_int() != 0) ++group.successes;
+        group.steps.add(row.at("steps").as_double());
+        group.witness.add(row.at("witness_bound").as_double());
+        ++r;
+      }
+      JsonValue obj = JsonValue::object();
+      obj.set("point", JsonValue::of(group.point));
+      obj.set("cells", JsonValue::of(group.cells));
+      for (const auto& [key, value] :
+           dispersion_stats(group.steps, group.witness, group.successes,
+                            group.cells)) {
+        obj.set(key, JsonValue::of(value));
+      }
+      points.push_back(std::move(obj));
+    }
+    out.set("point_stats", JsonValue::array(std::move(points)));
     out.set("cell_seconds_p50", JsonValue::null());
     out.set("cell_seconds_p90", JsonValue::null());
     out.set("cell_seconds_p99", JsonValue::null());

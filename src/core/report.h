@@ -55,6 +55,10 @@ struct SectionStats {
   std::string name;
   std::size_t grid_cells = 0;  // size of the full (unsharded) space
   std::size_t cells = 0;       // cells actually run (this shard)
+  /// The grid's repeat factor (1 for generic loops): global cell
+  /// index / repeats is the grid-point id the per-point multi-seed
+  /// statistics group by.
+  int repeats = 1;
   ShardSpec shard;
   Summary steps;         // per-cell steps_executed (deterministic)
   Summary cell_seconds;  // per-cell wall latency (thread-count dependent)
@@ -156,9 +160,21 @@ enum class MergeRule {
 /// Emission contract (the merge path depends on it): the document
 /// always round-trips through a strict JSON parser — strings are
 /// escaped, non-finite doubles render as null — and a grid section
-/// emits its percentile keys (steps_p50/p90/p99, witness_bound_p90,
-/// cell_seconds_p50/p90/p99) whether or not the shard ran any cells
-/// (null when empty), so shard documents are schema-identical.
+/// emits its percentile and dispersion keys (steps_p50/p90/p99,
+/// witness_bound_p90, cell_seconds_p50/p90/p99, plus the multi-seed
+/// statistics: steps_mean/steps_stddev,
+/// witness_bound_mean/witness_bound_stddev, success_rate and the 95%
+/// confidence intervals ci_steps_low/high, ci_witness_bound_low/high,
+/// ci_success_low/high — Student-t for means, normal approximation
+/// for the success proportion) whether or not the shard ran any cells
+/// (null when empty), so shard documents are schema-identical. The
+/// scalars pool the whole section; the "point_stats" array repeats
+/// the same keys per grid point (rows grouped by global index /
+/// "repeat_factor"), i.e. per point across its --repeat seeds. All of
+/// them are pure functions of the rows; merge_shard_docs recomputes
+/// them from the union rows with the same arithmetic
+/// (dispersion_stats in report.cpp is the single shared
+/// implementation).
 class JsonSink : public ReportSink {
  public:
   struct Config {
@@ -212,6 +228,7 @@ class JsonSink : public ReportSink {
     std::vector<std::pair<std::string, double>> extra;
     std::vector<std::string> same_keys;  // extras annotated kSame
     bool from_grid = false;
+    int repeat_factor = 1;      // grid sections: --repeat group width
     std::vector<CellRow> rows;  // grid sections only
   };
 

@@ -80,6 +80,7 @@ SectionStats ExperimentRunner::run(const SweepGrid& grid,
       stats.name = name;
       stats.grid_cells = total;
       stats.cells = 0;
+      stats.repeats = grid.repeats();
       stats.shard = options_.shard;
       stats.wall_seconds = timer.seconds();
       for (ReportSink* sink : sinks) sink->end_section(stats);
@@ -91,6 +92,7 @@ SectionStats ExperimentRunner::run(const SweepGrid& grid,
   stats.name = name;
   stats.grid_cells = total;
   stats.cells = cells.size();
+  stats.repeats = grid.repeats();
   stats.shard = options_.shard;
   stats.wall_seconds = timer.seconds();
   stats.runs_per_second =

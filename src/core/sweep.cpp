@@ -26,8 +26,26 @@ const char* family_name(ScheduleFamily family) noexcept {
       return "rotisserie";
     case ScheduleFamily::kKSubsetStarver:
       return "k-subset starver";
+    case ScheduleFamily::kBursty:
+      return "bursty";
+    case ScheduleFamily::kStarvation:
+      return "starvation";
+    case ScheduleFamily::kCrashProne:
+      return "crash-prone";
+    case ScheduleFamily::kGst:
+      return "gst";
   }
   return "unknown";
+}
+
+const std::vector<ScheduleFamily>& randomized_families() {
+  static const std::vector<ScheduleFamily> families = {
+      ScheduleFamily::kBursty,
+      ScheduleFamily::kStarvation,
+      ScheduleFamily::kCrashProne,
+      ScheduleFamily::kGst,
+  };
+  return families;
 }
 
 SweepGrid& SweepGrid::add_spec(const AgreementSpec& spec) {

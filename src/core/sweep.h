@@ -32,8 +32,13 @@ std::uint64_t derive_cell_seed(std::uint64_t base_seed,
                                std::uint64_t cell_index) noexcept;
 
 /// Short display name of a schedule family ("friendly", "rotisserie",
-/// "k-subset starver").
+/// "k-subset starver", "bursty", ...).
 const char* family_name(ScheduleFamily family) noexcept;
+
+/// The randomized adversary families (src/sched/families.h) as grid
+/// axis values, in registry order — the list benches iterate to sweep
+/// the family axis.
+const std::vector<ScheduleFamily>& randomized_families();
 
 /// How the grid derives the system S^i_{j,n} for each spec.
 enum class SystemAxis {
@@ -72,6 +77,10 @@ class SweepGrid {
   SweepGrid& system_axis(SystemAxis axis);
   /// Number of seeds per point; cell seeds stay index-derived.
   SweepGrid& repeats(int repeats);
+  /// The repeat factor (innermost axis width): cell index / repeats()
+  /// is the cell's grid-point id — the grouping the per-point
+  /// multi-seed statistics are computed over.
+  int repeats() const noexcept { return repeats_; }
   SweepGrid& base_seed(std::uint64_t seed);
   /// Template for every cell's RunConfig (max_steps, windows, ...).
   SweepGrid& prototype(const RunConfig& config);

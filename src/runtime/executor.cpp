@@ -98,11 +98,23 @@ ThreadedExecutor::RunStats ThreadedExecutor::run(Pacer& pacer,
       const ProcSet crashed_now = crashed();
       for (Pid p = 0; p < n_; ++p) {
         if (crashed_now.contains(p)) continue;
-        if (done_[static_cast<std::size_t>(p)].load(
+        if (exited_[static_cast<std::size_t>(p)].load(
                 std::memory_order_acquire)) {
           continue;
         }
-        if (exited_[static_cast<std::size_t>(p)].load(
+        // A process with a crash still pending is not settled even
+        // once its local_done predicate fires: ending the run at
+        // first-decision would race the crash injection, making the
+        // faulty set depend on how far the OS let this thread run
+        // (the KSetWithCrashes flake). Its thread keeps stepping and
+        // crashes after exactly crash_after_ ops — deterministic in
+        // its own execution — so waiting here is bounded.
+        if (crash_after_[static_cast<std::size_t>(p)] !=
+            std::numeric_limits<std::int64_t>::max()) {
+          all_settled = false;
+          break;
+        }
+        if (done_[static_cast<std::size_t>(p)].load(
                 std::memory_order_acquire)) {
           continue;
         }
@@ -113,8 +125,16 @@ ThreadedExecutor::RunStats ThreadedExecutor::run(Pacer& pacer,
       if (all_settled || elapsed >= options.max_wall) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
-    stop_.store(true, std::memory_order_release);
+    // Stop the pacer before publishing the executor stop flag: a
+    // worker that observes stop_ exits its loop and deactivates its
+    // pid, and the pacer counts a deactivation that kills a
+    // constraint's timely set as a real mid-run drop unless its own
+    // stop flag is already up. With the old order (executor flag
+    // first) a fast-exiting worker could deactivate during the gap
+    // and a clean run would report dropped_constraints == 1 — a
+    // teardown artifact, not a violation.
     pacer.request_stop();
+    stop_.store(true, std::memory_order_release);
     // jthread joins on scope exit (CP.25).
   }
 

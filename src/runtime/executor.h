@@ -56,7 +56,12 @@ class ThreadedExecutor {
 
   shm::ProcessRuntime& process(Pid p);
 
-  /// Crash pid after it has executed `ops` operations.
+  /// Crash pid after it has executed exactly `ops` operations (checked
+  /// before each op by the process's own thread). Deterministic: the
+  /// run monitor never ends a run while a crash is still pending, so
+  /// an early all-decided cannot race the injection out of existence —
+  /// the crash fires unless the thread leaves its loop first via op
+  /// budget or pacer refusal.
   void crash_after(Pid p, std::int64_t ops);
 
   ProcSet crashed() const;

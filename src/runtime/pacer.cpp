@@ -65,7 +65,10 @@ void Pacer::deactivate(Pid pid) {
   for (auto& st : states_) {
     if (st.dropped || !(st.c.timely_set & active_).empty()) continue;
     st.dropped = true;
-    if (!stop_) ++dropped_;
+    if (!stop_) {
+      ++dropped_;
+      if (!first_drop_step_) first_drop_step_ = steps_;
+    }
   }
   cv_.notify_all();
 }
@@ -89,6 +92,11 @@ std::int64_t Pacer::steps_taken() const {
 std::int64_t Pacer::dropped_constraints() const {
   const std::scoped_lock lock(mu_);
   return dropped_;
+}
+
+std::optional<std::int64_t> Pacer::first_drop_step() const {
+  const std::scoped_lock lock(mu_);
+  return first_drop_step_;
 }
 
 sched::Schedule Pacer::recorded_schedule() const {

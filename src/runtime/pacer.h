@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "src/sched/enforcer.h"
@@ -48,6 +49,14 @@ class Pacer {
   std::int64_t steps_taken() const;
   std::int64_t dropped_constraints() const;
 
+  /// Serialized step index at which the first constraint was dropped
+  /// (its timely set fully deactivated mid-run). Steps at or past this
+  /// index are unpaced — no timeliness is being enforced for that
+  /// constraint — so paced-run statistics must cut here. Teardown
+  /// drops (after request_stop) are not recorded, matching
+  /// dropped_constraints. nullopt while every constraint is live.
+  std::optional<std::int64_t> first_drop_step() const;
+
   /// The serialized schedule (requires record_schedule; empty
   /// otherwise). Call after threads have quiesced.
   sched::Schedule recorded_schedule() const;
@@ -70,6 +79,7 @@ class Pacer {
   bool stop_ = false;
   std::int64_t steps_ = 0;
   std::int64_t dropped_ = 0;
+  std::optional<std::int64_t> first_drop_step_;
   bool record_;
   std::vector<Pid> log_;
 };

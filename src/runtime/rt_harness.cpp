@@ -21,8 +21,11 @@ RtRunReport run_kset_threaded(const RtRunConfig& cfg) {
   SETLIB_EXPECTS(cfg.t >= 1 && cfg.t <= cfg.n - 1);
   SETLIB_EXPECTS(cfg.k <= cfg.t);
   SETLIB_EXPECTS(cfg.crash_count >= 0 && cfg.crash_count <= cfg.t);
-  // The pacer's timely set (first k pids) must stay alive.
+  // The pacer's timely set (first k pids) must stay alive under the
+  // tail-crash pattern; explicit injections may crash anyone but must
+  // leave at least one process running.
   SETLIB_EXPECTS(cfg.crash_count <= cfg.n - cfg.k);
+  SETLIB_EXPECTS(cfg.crashes.size() < static_cast<std::size_t>(cfg.n));
 
   const int n = cfg.n;
   std::vector<std::int64_t> proposals = cfg.proposals;
@@ -43,8 +46,14 @@ RtRunReport run_kset_threaded(const RtRunConfig& cfg) {
     kset.install(executor.process(p), p,
                  proposals[static_cast<std::size_t>(p)]);
   }
-  for (int c = 0; c < cfg.crash_count; ++c) {
-    executor.crash_after(n - 1 - c, cfg.crash_ops);
+  if (!cfg.crashes.empty()) {
+    for (const auto& [pid, ops] : cfg.crashes) {
+      executor.crash_after(pid, ops);
+    }
+  } else {
+    for (int c = 0; c < cfg.crash_count; ++c) {
+      executor.crash_after(n - 1 - c, cfg.crash_ops);
+    }
   }
 
   const ProcSet p_set = ProcSet::range(0, cfg.k);
@@ -63,8 +72,15 @@ RtRunReport run_kset_threaded(const RtRunConfig& cfg) {
   report.all_done = stats.all_done;
   report.elapsed = stats.elapsed;
   report.faulty = executor.crashed();
-  report.pacer_steps = pacer.steps_taken();
   report.dropped_constraints = pacer.dropped_constraints();
+  // A dropped constraint means its whole timely set crashed (possibly
+  // before ever reaching the pacer): from that serialized step on, no
+  // timeliness was enforced, so the paced-run stats cut at the drop —
+  // otherwise a run whose pacing died at step 0 would report the
+  // entire unpaced tail as pacer_steps and measure a meaningless
+  // (divergent) witness bound on it.
+  const std::optional<std::int64_t> drop = pacer.first_drop_step();
+  report.pacer_steps = drop.value_or(pacer.steps_taken());
 
   report.decisions.assign(static_cast<std::size_t>(n), std::nullopt);
   for (Pid p = 0; p < n; ++p) {
@@ -83,10 +99,12 @@ RtRunReport run_kset_threaded(const RtRunConfig& cfg) {
   report.detector_abstract_ok = prop.abstract_ok;
 
   const sched::Schedule schedule = pacer.recorded_schedule();
-  report.witness_bound = schedule.empty()
-                             ? 0
-                             : sched::min_timeliness_bound(schedule, p_set,
-                                                           q_set);
+  const std::int64_t paced =
+      std::min<std::int64_t>(report.pacer_steps, schedule.size());
+  report.witness_bound =
+      paced == 0 ? 0
+                 : sched::min_timeliness_bound(schedule, p_set, q_set, 0,
+                                               paced);
   std::ostringstream os;
   os << verdict.detail << " pacer_steps=" << report.pacer_steps
      << " witness_bound=" << report.witness_bound

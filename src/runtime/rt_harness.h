@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/procset.h"
@@ -23,9 +24,16 @@ struct RtRunConfig {
   std::int64_t bound = 4;
 
   /// Crash the last crash_count pids after each has executed crash_ops
-  /// operations (0 = crash immediately).
+  /// operations (0 = crash immediately). Crashes are deterministic:
+  /// the executor never ends a run while one is still pending.
   int crash_count = 0;
   std::int64_t crash_ops = 0;
+
+  /// Explicit (pid, after-ops) crash injections; when non-empty this
+  /// overrides crash_count/crash_ops and may crash any pid — including
+  /// pacer timely-set members, which drops the constraint mid-run (see
+  /// RtRunReport::pacer_steps for how the stats respond).
+  std::vector<std::pair<Pid, std::int64_t>> crashes;
 
   std::int64_t max_ops_per_process = 500'000;
   std::chrono::milliseconds max_wall{5000};
@@ -39,9 +47,15 @@ struct RtRunReport {
   std::vector<std::optional<std::int64_t>> decisions;
   ProcSet faulty;
 
+  /// Paced steps: the serialized step count of the era in which every
+  /// constraint was still enforced. When a crash kills a constraint's
+  /// whole timely set (possibly before the crashed thread ever reached
+  /// the pacer), later steps run unpaced, so pacer_steps — and the
+  /// witness_bound measured below — cover only the pre-crash prefix
+  /// instead of passing off an unpaced run as a paced one.
   std::int64_t pacer_steps = 0;
   std::int64_t dropped_constraints = 0;
-  std::int64_t witness_bound = 0;  // measured on the pacer's schedule
+  std::int64_t witness_bound = 0;  // measured on the paced prefix
   std::chrono::milliseconds elapsed{0};
   bool detector_stabilized = false;
   bool detector_abstract_ok = false;

@@ -1,0 +1,157 @@
+#include "src/sched/families.h"
+
+#include <utility>
+
+#include "src/util/assert.h"
+
+namespace setlib::sched {
+
+namespace {
+
+/// Independent per-role seed streams, so a family that composes
+/// several seeded parts (crash plan + base noise, prefix + suffix)
+/// never reuses one Rng stream for two roles. Same derivation shape as
+/// core::derive_cell_seed.
+std::uint64_t family_seed(std::uint64_t seed, std::uint64_t role) noexcept {
+  std::uint64_t state = seed + 0x9E3779B97F4A7C15ull * (role + 1);
+  return splitmix64(state);
+}
+
+}  // namespace
+
+BurstyGenerator::BurstyGenerator(int n, std::int64_t scale,
+                                 std::uint64_t seed)
+    : n_(n), scale_(scale), rng_(seed) {
+  SETLIB_EXPECTS(n >= 1 && n <= kMaxProcs);
+  SETLIB_EXPECTS(scale >= 1);
+}
+
+Pid BurstyGenerator::next() {
+  if (remaining_ == 0) {
+    current_ =
+        static_cast<Pid>(rng_.next_below(static_cast<std::uint64_t>(n_)));
+    remaining_ = rng_.next_in(1, 2 * scale_);
+  }
+  --remaining_;
+  return current_;
+}
+
+StarvationGenerator::StarvationGenerator(int n, std::int64_t scale,
+                                         std::uint64_t seed)
+    : n_(n), scale_(scale), rng_(seed) {
+  SETLIB_EXPECTS(n >= 2 && n <= kMaxProcs);  // someone must starve
+  SETLIB_EXPECTS(scale >= 1);
+}
+
+std::int64_t StarvationGenerator::geometric_stretch() {
+  // Geometric(1/scale), capped so one draw can never dominate a run:
+  // mean ~scale, unbounded tail in distribution but not in code.
+  std::int64_t len = 1;
+  const double p = 1.0 / static_cast<double>(scale_);
+  while (len < 64 * scale_ && !rng_.next_bool(p)) ++len;
+  return len;
+}
+
+Pid StarvationGenerator::next() {
+  if (starved_left_ == 0 && recover_left_ == 0) {
+    victim_ =
+        static_cast<Pid>(rng_.next_below(static_cast<std::uint64_t>(n_)));
+    starved_left_ = geometric_stretch();
+    recover_left_ = n_;
+    rr_ = 0;
+  }
+  if (starved_left_ > 0) {
+    --starved_left_;
+    Pid p = static_cast<Pid>(
+        rng_.next_below(static_cast<std::uint64_t>(n_ - 1)));
+    if (p >= victim_) ++p;  // uniform over the non-victims
+    return p;
+  }
+  --recover_left_;
+  const Pid p = rr_;
+  rr_ = (rr_ + 1) % n_;
+  return p;
+}
+
+const std::vector<FamilyInfo>& schedule_families() {
+  static const std::vector<FamilyInfo> families = {
+      {FamilyKind::kUniform, "uniform", "seeded fair asynchrony"},
+      {FamilyKind::kWeighted, "weighted",
+       "seeded biased asynchrony (per-process weights from the seed)"},
+      {FamilyKind::kBursty, "bursty",
+       "long seeded solo runs per process (mean `scale` steps)"},
+      {FamilyKind::kStarvation, "starvation",
+       "seeded victim silenced for geometric stretches"},
+      {FamilyKind::kCrashProne, "crash-prone",
+       "tail processes permanently silenced at seeded steps"},
+      {FamilyKind::kGst, "gst",
+       "chaotic bursty prefix, then round-robin"},
+  };
+  return families;
+}
+
+const FamilyInfo* find_family(std::string_view name) {
+  for (const FamilyInfo& info : schedule_families()) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+CrashPlan crash_prone_plan(const FamilyParams& params, std::uint64_t seed) {
+  SETLIB_EXPECTS(params.n >= 1 && params.n <= kMaxProcs);
+  SETLIB_EXPECTS(params.crash_count >= 0 && params.crash_count < params.n);
+  SETLIB_EXPECTS(params.crash_horizon >= 1);
+  Rng rng(family_seed(seed, 0));
+  CrashPlan plan(params.n);
+  for (int c = 0; c < params.crash_count; ++c) {
+    plan.set_crash(params.n - 1 - c,
+                   static_cast<std::int64_t>(rng.next_below(
+                       static_cast<std::uint64_t>(params.crash_horizon))));
+  }
+  return plan;
+}
+
+std::unique_ptr<ScheduleGenerator> make_family(FamilyKind kind,
+                                               const FamilyParams& params,
+                                               std::uint64_t seed) {
+  SETLIB_EXPECTS(params.n >= 1 && params.n <= kMaxProcs);
+  switch (kind) {
+    case FamilyKind::kUniform:
+      return std::make_unique<UniformRandomGenerator>(
+          params.n, family_seed(seed, 1));
+    case FamilyKind::kWeighted: {
+      // Seeded skew: ~30% of processes are nearly silent; process 0
+      // keeps full weight so the weights are never all ~0.
+      Rng rng(family_seed(seed, 2));
+      std::vector<double> weights;
+      weights.reserve(static_cast<std::size_t>(params.n));
+      for (int p = 0; p < params.n; ++p) {
+        weights.push_back(rng.next_bool(0.3) ? 0.05 : 1.0);
+      }
+      weights[0] = 1.0;
+      return std::make_unique<WeightedRandomGenerator>(
+          std::move(weights), family_seed(seed, 3));
+    }
+    case FamilyKind::kBursty:
+      return std::make_unique<BurstyGenerator>(params.n, params.scale,
+                                               family_seed(seed, 4));
+    case FamilyKind::kStarvation:
+      return std::make_unique<StarvationGenerator>(params.n, params.scale,
+                                                   family_seed(seed, 5));
+    case FamilyKind::kCrashProne:
+      return std::make_unique<CrashFilterGenerator>(
+          std::make_unique<UniformRandomGenerator>(params.n,
+                                                   family_seed(seed, 6)),
+          crash_prone_plan(params, seed));
+    case FamilyKind::kGst:
+      SETLIB_EXPECTS(params.gst >= 0);
+      return std::make_unique<SwitchGenerator>(
+          std::make_unique<BurstyGenerator>(params.n, params.scale,
+                                            family_seed(seed, 7)),
+          std::make_unique<RoundRobinGenerator>(params.n), params.gst);
+  }
+  SETLIB_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace setlib::sched

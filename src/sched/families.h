@@ -1,0 +1,138 @@
+// Randomized adversary families: a registry of seeded schedule
+// generators beyond the uniform/weighted baselines.
+//
+// The paper's timeliness bounds are adversary-quantified — a system is
+// timely only if the Definition 1 bound holds against *every* schedule
+// the adversary can produce — so the experiment surface needs a
+// catalogue of qualitatively different adversaries, each a
+// deterministic function of (params, seed):
+//
+//   - uniform:     seeded fair asynchrony (UniformRandomGenerator);
+//   - weighted:    seeded biased asynchrony, weights drawn per process
+//                  from the seed (some processes nearly silent);
+//   - bursty:      one process at a time runs solo for seeded bursts
+//                  of mean `scale` steps — long P-free windows for any
+//                  P that misses the bursting process;
+//   - starvation:  a seeded victim is silenced for geometric stretches
+//                  (mean `scale`) while the others step uniformly, then
+//                  one round-robin recovery pass; the victim rotates
+//                  per stretch;
+//   - crash-prone: the `crash_count` tail processes are permanently
+//                  silenced at seeded steps below `crash_horizon` (the
+//                  model's crashes: finitely many steps), uniform
+//                  asynchrony otherwise;
+//   - gst:         a chaotic (bursty) prefix up to step `gst`, then
+//                  round-robin — the Dwork-Lynch-Stockmeyer global
+//                  stabilization shape.
+//
+// Determinism contract: make_family(kind, params, seed) consumes only
+// its own Rng streams derived from `seed`, so the emitted schedule is
+// bit-identical across processes, threads, and shards — the per-cell
+// seeds of core::SweepGrid carry through unchanged.
+#ifndef SETLIB_SCHED_FAMILIES_H
+#define SETLIB_SCHED_FAMILIES_H
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/sched/generators.h"
+#include "src/util/rng.h"
+
+namespace setlib::sched {
+
+/// Shared parameter block for the registry's factories. Every family
+/// reads `n`; the rest have per-family meaning (documented above) and
+/// sensible defaults so callers set only what they sweep.
+struct FamilyParams {
+  int n = 2;
+  /// Bursty solo-run / starvation-stretch scale (mean length, >= 1).
+  std::int64_t scale = 64;
+  /// Crash-prone: tail processes silenced (0 <= crash_count < n).
+  int crash_count = 1;
+  /// Crash-prone: crash steps drawn uniformly from [0, crash_horizon).
+  std::int64_t crash_horizon = 100'000;
+  /// GST: steps of chaotic prefix before the round-robin era.
+  std::int64_t gst = 4'096;
+};
+
+/// Long seeded solo runs: pick a process uniformly, emit it for a
+/// burst drawn uniformly from [1, 2 * scale], repeat.
+class BurstyGenerator final : public ScheduleGenerator {
+ public:
+  BurstyGenerator(int n, std::int64_t scale, std::uint64_t seed);
+
+  int n() const override { return n_; }
+  Pid next() override;
+
+ private:
+  int n_;
+  std::int64_t scale_;
+  Rng rng_;
+  Pid current_ = 0;
+  std::int64_t remaining_ = 0;
+};
+
+/// One process silenced for geometric stretches: each phase picks a
+/// seeded victim, silences it for a Geometric(1/scale) stretch (the
+/// others step uniformly), then runs one full round-robin recovery
+/// pass so every process keeps taking infinitely many steps.
+class StarvationGenerator final : public ScheduleGenerator {
+ public:
+  StarvationGenerator(int n, std::int64_t scale, std::uint64_t seed);
+
+  int n() const override { return n_; }
+  Pid next() override;
+
+ private:
+  std::int64_t geometric_stretch();
+
+  int n_;
+  std::int64_t scale_;
+  Rng rng_;
+  Pid victim_ = 0;
+  std::int64_t starved_left_ = 0;
+  std::int64_t recover_left_ = 0;
+  Pid rr_ = 0;
+};
+
+/// The registered adversary families, in registry order.
+enum class FamilyKind {
+  kUniform,
+  kWeighted,
+  kBursty,
+  kStarvation,
+  kCrashProne,
+  kGst,
+};
+
+struct FamilyInfo {
+  FamilyKind kind;
+  const char* name;         // CLI/JSON token ("crash-prone")
+  const char* description;  // one-liner for tables and docs
+};
+
+/// All registered families, in a fixed order (stable across runs; the
+/// frontier bench's cell space indexes into it).
+const std::vector<FamilyInfo>& schedule_families();
+
+/// Registry lookup by name; nullptr when unknown.
+const FamilyInfo* find_family(std::string_view name);
+
+/// The crash-prone family's seeded plan: the `crash_count` tail
+/// processes, each silenced at a seeded step in [0, crash_horizon).
+/// make_family(kCrashProne, ...) uses exactly this plan, so engines
+/// that must mirror the crashes (simulator faulty sets) can rebuild it
+/// from the same (params, seed).
+CrashPlan crash_prone_plan(const FamilyParams& params, std::uint64_t seed);
+
+/// Instantiates a family generator. Deterministic: the same
+/// (kind, params, seed) always produces the same schedule.
+std::unique_ptr<ScheduleGenerator> make_family(FamilyKind kind,
+                                               const FamilyParams& params,
+                                               std::uint64_t seed);
+
+}  // namespace setlib::sched
+
+#endif  // SETLIB_SCHED_FAMILIES_H

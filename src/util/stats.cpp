@@ -43,6 +43,34 @@ void Summary::ensure_sorted() const {
   }
 }
 
+double ci95_halfwidth(const Summary& s) {
+  SETLIB_EXPECTS(!s.empty());
+  const std::size_t n = s.count();
+  if (n < 2) return 0.0;
+  // Two-tailed 95% Student-t quantiles for df = 1..30; the normal
+  // quantile beyond. With --repeat in the single digits the t
+  // correction is the difference between a ~95% interval and a ~68%
+  // one (df = 2: 4.303 vs 1.96).
+  static constexpr double kT975[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+      2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+      2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+      2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  const std::size_t df = n - 1;
+  const double t = df <= 30 ? kT975[df - 1] : 1.96;
+  // Summary::stddev is the population form (divides by n); rescale to
+  // the n-1 sample standard deviation the t interval is defined over.
+  const double sample_sd =
+      s.stddev() * std::sqrt(static_cast<double>(n) /
+                             static_cast<double>(n - 1));
+  return t * sample_sd / std::sqrt(static_cast<double>(n));
+}
+
+double ci95_proportion_halfwidth(double p, std::size_t count) {
+  SETLIB_EXPECTS(count >= 1);
+  return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(count));
+}
+
 double Summary::percentile(double q) const {
   SETLIB_EXPECTS(!empty());
   SETLIB_EXPECTS(q >= 0.0 && q <= 100.0);

@@ -32,6 +32,19 @@ class Summary {
   mutable bool sorted_valid_ = false;
 };
 
+/// Half-width of the 95% confidence interval of the mean:
+/// t_{0.975, n-1} * sample_stddev / sqrt(n), using the Student-t
+/// quantile (tabulated to df = 30, 1.96 beyond) and the n-1 sample
+/// standard deviation — at the small `--repeat` counts the sweeps
+/// actually use, the naive 1.96 * sigma_pop / sqrt(n) would understate
+/// the interval several-fold. 0 for a single sample (no dispersion
+/// information). The interval is [mean - hw, mean + hw].
+double ci95_halfwidth(const Summary& s);
+
+/// Normal-approximation 95% CI half-width of a proportion:
+/// 1.96 * sqrt(p * (1 - p) / count). Requires count >= 1.
+double ci95_proportion_halfwidth(double p, std::size_t count);
+
 }  // namespace setlib
 
 #endif  // SETLIB_UTIL_STATS_H

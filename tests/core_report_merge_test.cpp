@@ -89,6 +89,48 @@ TEST(MergeShardDocsTest, EmptyShardsMergeCleanly) {
   EXPECT_EQ(comparable(merge_shard_docs(shards)), comparable(full));
 }
 
+TEST(MergeShardDocsTest, CiKeysAreRecomputedFromTheUnionRows) {
+  // The multi-seed dispersion keys are rows-derived grid stats: the
+  // merge must recompute them from the union (matching the unsharded
+  // values bitwise), never sum them like plain annotations or drop
+  // them like timing keys.
+  const JsonValue full = bench_doc(0, 1);
+  std::vector<JsonValue> shards;
+  for (std::size_t k = 0; k < 3; ++k) shards.push_back(bench_doc(k, 3));
+  const JsonValue merged = merge_shard_docs(shards);
+  const JsonValue& got = merged.at("sections").items().at(0);
+  const JsonValue& want = full.at("sections").items().at(0);
+  for (const char* key :
+       {"steps_mean", "steps_stddev", "ci_steps_low", "ci_steps_high",
+        "witness_bound_mean", "witness_bound_stddev",
+        "ci_witness_bound_low", "ci_witness_bound_high", "success_rate",
+        "ci_success_low", "ci_success_high"}) {
+    ASSERT_NE(got.find(key), nullptr) << key;
+    ASSERT_TRUE(got.at(key).is_number()) << key;
+    // Rendered-literal equality: the unsharded document's value went
+    // through json_number formatting; the merged value must emit the
+    // identical literal (that is the bit-identity the orchestrator's
+    // canonical diff checks).
+    EXPECT_EQ(got.at(key).dump(), want.at(key).dump()) << key;
+  }
+  // The grid varies bounds and seeds, so the witness-bound interval
+  // has real width.
+  EXPECT_LT(got.at("ci_witness_bound_low").as_double(),
+            got.at("ci_witness_bound_high").as_double());
+
+  // The per-point breakdown: 6 cells at repeat factor 3 = 2 grid
+  // points, each recomputed from the union rows (rendered-literal
+  // identical to the unsharded run's array).
+  EXPECT_EQ(got.at("repeat_factor").as_int(), 3);
+  ASSERT_EQ(got.at("point_stats").items().size(), 2u);
+  EXPECT_EQ(got.at("point_stats").dump(), want.at("point_stats").dump());
+  for (const JsonValue& point : got.at("point_stats").items()) {
+    EXPECT_EQ(point.at("cells").as_int(), 3);
+    ASSERT_NE(point.find("ci_steps_low"), nullptr);
+    ASSERT_NE(point.find("success_rate"), nullptr);
+  }
+}
+
 TEST(MergeShardDocsTest, MissingShardIsAnErrorNotASilentDrop) {
   std::vector<JsonValue> shards;
   shards.push_back(bench_doc(0, 3));
@@ -186,11 +228,17 @@ TEST(JsonSinkContractTest, EmptyShardGridSectionsKeepThePercentileKeys) {
   EXPECT_EQ(section.at("cells").as_int(), 0);
   for (const char* key :
        {"steps_p50", "steps_p90", "steps_p99", "witness_bound_p90",
-        "cell_seconds_p50", "cell_seconds_p90", "cell_seconds_p99"}) {
+        "cell_seconds_p50", "cell_seconds_p90", "cell_seconds_p99",
+        "steps_mean", "steps_stddev", "ci_steps_low", "ci_steps_high",
+        "witness_bound_mean", "witness_bound_stddev",
+        "ci_witness_bound_low", "ci_witness_bound_high", "success_rate",
+        "ci_success_low", "ci_success_high"}) {
     ASSERT_NE(section.find(key), nullptr) << key;
     EXPECT_TRUE(section.at(key).is_null()) << key;
   }
   EXPECT_EQ(section.at("rows").items().size(), 0u);
+  EXPECT_EQ(section.at("point_stats").items().size(), 0u);
+  EXPECT_EQ(section.at("repeat_factor").as_int(), 1);
 }
 
 TEST(TimingKeyTest, TheRuleMatchesTheDocumentedKeys) {
@@ -200,8 +248,15 @@ TEST(TimingKeyTest, TheRuleMatchesTheDocumentedKeys) {
         "rescan_wall_seconds", "speedup_vs_rescan"}) {
     EXPECT_TRUE(is_timing_key(key)) << key;
   }
-  for (const char* key : {"cells", "successes", "steps_p50",
-                          "series_phases", "rescan_match", "bench"}) {
+  // The dispersion keys must never pattern-match as timing keys — a
+  // timing match would drop them from merged documents instead of
+  // recomputing them.
+  for (const char* key :
+       {"cells", "successes", "steps_p50", "series_phases",
+        "rescan_match", "bench", "steps_mean", "steps_stddev",
+        "witness_bound_mean", "witness_bound_stddev", "success_rate",
+        "ci_steps_low", "ci_steps_high", "ci_witness_bound_low",
+        "ci_witness_bound_high", "ci_success_low", "ci_success_high"}) {
     EXPECT_FALSE(is_timing_key(key)) << key;
   }
 }

@@ -97,6 +97,52 @@ TEST(RunnerShardTest, ShardUnionEqualsUnshardedRunCellForCell) {
   }
 }
 
+TEST(RunnerShardTest, RandomizedFamiliesBitIdenticalAcrossThreadsAndShards) {
+  // The new adversary families ride the same determinism contract as
+  // the paper constructions: per-cell seeds are index-pure, so a
+  // family sweep is bit-identical at 1 vs. 8 threads and the K/3
+  // shard runs concatenate to the unsharded run.
+  SweepGrid grid;
+  RunConfig proto;
+  proto.max_steps = 120'000;
+  grid.add_spec({2, 1, 4});
+  for (const auto family : randomized_families()) {
+    grid.add_family(family);
+  }
+  grid.add_bound(3).repeats(2).base_seed(99).prototype(proto);
+  // 1 spec x 4 families x 1 bound x 2 repeats = 8 cells.
+
+  ExperimentRunner serial = make_runner(1);
+  CollectSink one;
+  serial.run(grid, "one", {&one});
+  ASSERT_EQ(one.reports().size(), 8u);
+
+  ExperimentRunner wide = make_runner(8);
+  CollectSink eight;
+  wide.run(grid, "eight", {&eight});
+
+  std::vector<RunReport> union_reports;
+  for (std::size_t k = 0; k < 3; ++k) {
+    ExperimentRunner shard_runner = make_runner(2, ShardSpec{k, 3});
+    CollectSink part;
+    shard_runner.run(grid, "part", {&part});
+    union_reports.insert(union_reports.end(), part.reports().begin(),
+                         part.reports().end());
+  }
+
+  ASSERT_EQ(eight.reports().size(), one.reports().size());
+  ASSERT_EQ(union_reports.size(), one.reports().size());
+  for (std::size_t i = 0; i < one.reports().size(); ++i) {
+    EXPECT_EQ(eight.reports()[i].detail, one.reports()[i].detail) << i;
+    EXPECT_EQ(union_reports[i].detail, one.reports()[i].detail) << i;
+    EXPECT_EQ(eight.reports()[i].witness_bound,
+              one.reports()[i].witness_bound);
+    EXPECT_EQ(union_reports[i].witness_bound,
+              one.reports()[i].witness_bound);
+    EXPECT_EQ(union_reports[i].faulty, one.reports()[i].faulty) << i;
+  }
+}
+
 TEST(RunnerShardTest, ShardedMapSlicesConcatenateToUnshardedMap) {
   const std::size_t n = 23;
   ExperimentRunner full_runner = make_runner(3);

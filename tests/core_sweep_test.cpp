@@ -262,6 +262,19 @@ TEST(SweepFamilyTest, FamilyNames) {
   EXPECT_STREQ(family_name(ScheduleFamily::kRotisserie), "rotisserie");
   EXPECT_STREQ(family_name(ScheduleFamily::kKSubsetStarver),
                "k-subset starver");
+  EXPECT_STREQ(family_name(ScheduleFamily::kBursty), "bursty");
+  EXPECT_STREQ(family_name(ScheduleFamily::kStarvation), "starvation");
+  EXPECT_STREQ(family_name(ScheduleFamily::kCrashProne), "crash-prone");
+  EXPECT_STREQ(family_name(ScheduleFamily::kGst), "gst");
+}
+
+TEST(SweepFamilyTest, RandomizedFamiliesListMatchesTheRegistryOrder) {
+  const auto& families = randomized_families();
+  ASSERT_EQ(families.size(), 4u);
+  EXPECT_EQ(families[0], ScheduleFamily::kBursty);
+  EXPECT_EQ(families[1], ScheduleFamily::kStarvation);
+  EXPECT_EQ(families[2], ScheduleFamily::kCrashProne);
+  EXPECT_EQ(families[3], ScheduleFamily::kGst);
 }
 
 }  // namespace

@@ -134,6 +134,31 @@ TEST(ExecutorTest, MaxOpsBudgetStopsThreads) {
   EXPECT_EQ(mem.read(r).as_int_or(0), 1'000);
 }
 
+TEST(ExecutorTest, PendingCrashKeepsTheRunAliveUntilItFires) {
+  // Everyone reports done immediately, but process 1 has a crash
+  // scheduled after 500 ops. The old monitor would end the run at the
+  // first poll (all done), racing the crash out of existence; now the
+  // run must not settle until the crash has fired.
+  RtMemory mem;
+  const auto r0 = mem.alloc("r0");
+  const auto r1 = mem.alloc("r1");
+  ThreadedExecutor exec(mem, 2);
+  exec.process(0).add_task(spin(r0), "spin");
+  exec.process(1).add_task(spin(r1), "spin");
+  exec.crash_after(1, 500);
+  Pacer pacer(2, {}, /*record_schedule=*/true);
+  ThreadedExecutor::Options options;
+  options.max_wall = std::chrono::milliseconds(5'000);
+  options.poll_every = 8;
+  options.local_done = [](Pid) { return true; };
+  const auto stats = exec.run(pacer, options);
+  EXPECT_TRUE(stats.all_done);
+  EXPECT_FALSE(stats.wall_expired);
+  EXPECT_EQ(exec.crashed(), ProcSet::of(1));
+  // The crash fired after exactly 500 ops of process 1.
+  EXPECT_EQ(pacer.recorded_schedule().count(1), 500);
+}
+
 TEST(ExecutorTest, PacerScheduleSatisfiesConstraintUnderThreads) {
   // Two spinning threads under a tight constraint: the recorded
   // schedule must satisfy it even though the OS interleaving is wild.

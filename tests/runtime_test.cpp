@@ -148,6 +148,48 @@ TEST(RtHarnessTest, KSetWithCrashes) {
   EXPECT_LE(report.distinct_decisions, 2);
 }
 
+TEST(RtHarnessTest, CrashesNeverRaceDecisionTime) {
+  // Regression for the KSetWithCrashes flake: the run used to end as
+  // soon as every process decided, so whether a crash_ops=1000 crash
+  // ever fired depended on how far the OS had let that thread run —
+  // frequent failures under ASan on many-core boxes. The executor now
+  // refuses to settle while a crash is pending, so the faulty set is
+  // exactly the configured one on every run.
+  for (int round = 0; round < 5; ++round) {
+    RtRunConfig cfg;
+    cfg.n = 5;
+    cfg.k = 2;
+    cfg.t = 2;
+    cfg.crash_count = 2;
+    cfg.crash_ops = 1'000;
+    const auto report = run_kset_threaded(cfg);
+    EXPECT_TRUE(report.success) << "round " << round << ": "
+                                << report.detail;
+    EXPECT_EQ(report.faulty, ProcSet::of({3, 4})) << "round " << round;
+  }
+}
+
+TEST(RtHarnessTest, CrashedTimelySetReportsOnlyPacedStats) {
+  // The whole pacer timely set ({0}, k = 1) crashes before taking a
+  // single step: the constraint is dropped at (or within bound - 1
+  // steps of) serialized step 0 and the rest of the run is unpaced.
+  // pacer_steps and witness_bound must describe only the paced prefix
+  // — not the thousands of unpaced steps the survivors go on to take.
+  RtRunConfig cfg;
+  cfg.n = 3;
+  cfg.k = 1;
+  cfg.t = 2;
+  cfg.crashes = {{0, 0}};  // pid 0 never reaches the pacer
+  cfg.max_ops_per_process = 4'000;
+  cfg.max_wall = std::chrono::milliseconds(5'000);
+  const auto report = run_kset_threaded(cfg);
+  EXPECT_EQ(report.faulty, ProcSet::of(0));
+  EXPECT_EQ(report.dropped_constraints, 1);
+  // Before the drop at most bound - 1 = 3 observed steps can pass.
+  EXPECT_LE(report.pacer_steps, cfg.bound - 1);
+  EXPECT_LE(report.witness_bound, cfg.bound);
+}
+
 TEST(RtHarnessTest, ImmediateCrashesStillTerminate) {
   RtRunConfig cfg;
   cfg.n = 4;

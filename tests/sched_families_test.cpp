@@ -1,0 +1,202 @@
+// The randomized adversary-family registry: every family is a
+// deterministic function of (params, seed), produces in-range pids
+// with its advertised shape (solo bursts, geometric starvation,
+// permanent crashes, GST switch), and — via the 1000-schedule
+// differential harness — the word-packed analyzer stays bit-identical
+// to min_timeliness_bound_reference on every family's schedules.
+#include "src/sched/families.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/sched/analyzer.h"
+#include "src/util/rng.h"
+
+namespace setlib::sched {
+namespace {
+
+FamilyParams params_for(int n, std::int64_t len) {
+  FamilyParams p;
+  p.n = n;
+  p.scale = 64;
+  p.crash_count = std::min(2, n - 1);
+  p.crash_horizon = std::max<std::int64_t>(1, len / 2);
+  p.gst = std::max<std::int64_t>(1, len / 4);
+  return p;
+}
+
+TEST(FamilyRegistryTest, NamesAreUniqueAndResolvable) {
+  const auto& families = schedule_families();
+  ASSERT_EQ(families.size(), 6u);
+  std::vector<std::string> names;
+  for (const FamilyInfo& info : families) {
+    names.emplace_back(info.name);
+    const FamilyInfo* found = find_family(info.name);
+    ASSERT_NE(found, nullptr) << info.name;
+    EXPECT_EQ(found->kind, info.kind);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+  EXPECT_EQ(find_family("no-such-family"), nullptr);
+}
+
+TEST(FamilyRegistryTest, SameParamsAndSeedReproduceTheSchedule) {
+  const FamilyParams p = params_for(6, 4'000);
+  for (const FamilyInfo& info : schedule_families()) {
+    auto a = make_family(info.kind, p, 1234);
+    auto b = make_family(info.kind, p, 1234);
+    const Schedule sa = generate(*a, 4'000);
+    const Schedule sb = generate(*b, 4'000);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::int64_t t = 0; t < sa.size(); ++t) {
+      ASSERT_EQ(sa[t], sb[t]) << info.name << " diverges at step " << t;
+    }
+    // And a different seed actually changes the schedule (round-robin
+    // tails excluded: compare the seeded prefix only).
+    auto c = make_family(info.kind, p, 99);
+    const Schedule sc = generate(*c, 4'000);
+    bool differs = false;
+    for (std::int64_t t = 0; t < std::min<std::int64_t>(sa.size(), p.gst);
+         ++t) {
+      if (sa[t] != sc[t]) {
+        differs = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(differs) << info.name << " ignores its seed";
+  }
+}
+
+TEST(FamilyRegistryTest, EveryStepIsInRange) {
+  Rng rng(7);
+  for (const FamilyInfo& info : schedule_families()) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const int n = 2 + static_cast<int>(rng.next_below(10));
+      const Schedule s =
+          generate(*make_family(info.kind, params_for(n, 1'000),
+                                rng.next_u64()),
+                   1'000);
+      for (std::int64_t t = 0; t < s.size(); ++t) {
+        ASSERT_GE(s[t], 0) << info.name;
+        ASSERT_LT(s[t], n) << info.name;
+      }
+    }
+  }
+}
+
+TEST(BurstyFamilyTest, ProducesLongSoloRuns) {
+  const FamilyParams p = params_for(8, 4'000);
+  const Schedule s =
+      generate(*make_family(FamilyKind::kBursty, p, 5), 4'000);
+  std::int64_t longest = 0;
+  std::int64_t run = 0;
+  for (std::int64_t t = 0; t < s.size(); ++t) {
+    run = (t > 0 && s[t] == s[t - 1]) ? run + 1 : 1;
+    longest = std::max(longest, run);
+  }
+  // Bursts are uniform in [1, 2 * scale]; over ~60 bursts one of at
+  // least scale/2 = 32 steps is a near-certainty.
+  EXPECT_GE(longest, p.scale / 2);
+}
+
+TEST(StarvationFamilyTest, SilencesAVictimForLongStretches) {
+  const int n = 5;
+  const FamilyParams p = params_for(n, 8'000);
+  const Schedule s =
+      generate(*make_family(FamilyKind::kStarvation, p, 11), 8'000);
+  // Some process must be absent for at least one full mean stretch.
+  std::int64_t longest_gap = 0;
+  for (Pid victim = 0; victim < n; ++victim) {
+    std::int64_t gap = 0;
+    for (std::int64_t t = 0; t < s.size(); ++t) {
+      gap = s[t] == victim ? 0 : gap + 1;
+      longest_gap = std::max(longest_gap, gap);
+    }
+  }
+  EXPECT_GE(longest_gap, p.scale);
+  // But nobody is silenced forever: the recovery pass keeps every
+  // process stepping.
+  for (Pid q = 0; q < n; ++q) EXPECT_GT(s.count(q), 0) << q;
+}
+
+TEST(CrashProneFamilyTest, CrashedProcessesNeverStepPastTheirStep) {
+  const FamilyParams p = params_for(6, 6'000);
+  const std::uint64_t seed = 21;
+  // make_family embeds exactly crash_prone_plan(params, seed), so the
+  // plan can be rebuilt independently and cross-checked.
+  const CrashPlan plan = crash_prone_plan(p, seed);
+  EXPECT_EQ(plan.faulty().size(), p.crash_count);
+  const Schedule s =
+      generate(*make_family(FamilyKind::kCrashProne, p, seed), 6'000);
+  for (std::int64_t t = 0; t < s.size(); ++t) {
+    EXPECT_FALSE(plan.crashed_by(s[t], t))
+        << "crashed pid " << s[t] << " stepped at " << t;
+  }
+  // The crashes really happen inside the horizon, so the tail of the
+  // run is crash-free by construction.
+  for (Pid q : plan.faulty().to_vector()) {
+    EXPECT_LT(plan.crash_step(q), p.crash_horizon);
+  }
+}
+
+TEST(GstFamilyTest, BecomesRoundRobinAfterTheSwitch) {
+  const int n = 4;
+  FamilyParams p = params_for(n, 4'000);
+  p.gst = 1'000;
+  const Schedule s =
+      generate(*make_family(FamilyKind::kGst, p, 31), 4'000);
+  for (std::int64_t t = p.gst; t < s.size(); ++t) {
+    ASSERT_EQ(s[t], static_cast<Pid>((t - p.gst) % n))
+        << "not round-robin at step " << t;
+  }
+}
+
+TEST(FamilyDifferentialTest, PackedBoundsBitIdenticalOn1000Schedules) {
+  // The 1000-schedule differential harness (PR 3's acceptance shape)
+  // over the family registry: every family's schedules pin the packed
+  // analyzer against the reference scan, full prefixes and random
+  // [from, to) windows alike.
+  Rng rng(2026);
+  const auto& families = schedule_families();
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(23));  // up to 24
+    std::int64_t len = rng.next_in(0, 400);
+    if (trial % 7 == 0) len = 64 * rng.next_in(0, 4);   // word-aligned
+    if (trial % 11 == 0) len = 63 + rng.next_in(0, 3);  // straddling
+    FamilyParams p;
+    p.n = n;
+    p.scale = 1 + rng.next_in(0, 64);
+    p.crash_count = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    p.crash_horizon = std::max<std::int64_t>(1, len / 2);
+    p.gst = rng.next_in(0, len + 1);
+    const FamilyInfo& info =
+        families[rng.next_below(families.size())];
+    const Schedule s =
+        generate(*make_family(info.kind, p, rng.next_u64()), len);
+
+    ProcSet p_set;
+    ProcSet q_set;
+    for (Pid pid = 0; pid < n; ++pid) {
+      if (rng.next_bool(0.4)) p_set = p_set.with(pid);
+      if (rng.next_bool(0.4)) q_set = q_set.with(pid);
+    }
+    EXPECT_EQ(min_timeliness_bound(s, p_set, q_set),
+              min_timeliness_bound_reference(s, p_set, q_set))
+        << info.name << " n=" << n << " len=" << len;
+    if (len > 0) {
+      const std::int64_t from = rng.next_in(0, len);
+      const std::int64_t to = rng.next_in(from, len);
+      EXPECT_EQ(min_timeliness_bound(s, p_set, q_set, from, to),
+                min_timeliness_bound_reference(s, p_set, q_set, from, to))
+          << info.name << " n=" << n << " len=" << len << " ["
+          << from << "," << to << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace setlib::sched
