@@ -1,0 +1,171 @@
+// EXP-SERVE — agreement-as-a-service. Closed-loop mode (default):
+// a seeded LoadGen stream is admitted through the bounded queue,
+// batched, and every batch is decided by one enforced-schedule
+// MultiShotAgreement pass; all aggregate stats (latency percentiles,
+// admission counts, decisions) are virtual-tick facts, bit-identical
+// at any --threads and across --shard=K/N unions. Open-loop mode
+// (--qps=N): wall-clock pacing at a target QPS for --duration seconds;
+// every fact it prints or records is a timing key.
+//
+// Serving flags (stripped before the shared runner flags):
+//   --requests=N    closed-loop stream length (default 1e6)
+//   --batch=B       max requests per agreement batch
+//   --queue-cap=N   bounded admission queue depth
+//   --qps=N         also run open loop at N requests/sec
+//   --duration=N    open-loop run length in seconds
+//
+// Deterministic facts print on "EXP-SERVE:" lines; wall-clock facts
+// are isolated on lines starting "wall:" so determinism diffs can
+// `grep -v '^wall'`.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "src/core/loadgen.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+#include "src/core/service.h"
+#include "src/core/sweep_cli.h"
+
+namespace {
+
+using namespace setlib;
+
+core::ServiceConfig g_config;  // NOLINT: CLI-configured before main runs
+long g_qps = 0;
+long g_duration_seconds = 2;
+
+void strip_serving_flags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    long requests = 0;
+    int batch = 0;
+    long queue_cap = 0;
+    if (core::consume_long_flag(arg, "--requests=", &requests)) {
+      g_config.requests = requests;
+      continue;
+    }
+    if (core::consume_int_flag(arg, "--batch=", &batch)) {
+      g_config.batch = batch;
+      continue;
+    }
+    if (core::consume_long_flag(arg, "--queue-cap=", &queue_cap)) {
+      g_config.queue_cap = queue_cap;
+      continue;
+    }
+    if (core::consume_long_flag(arg, "--qps=", &g_qps)) continue;
+    if (core::consume_long_flag(arg, "--duration=", &g_duration_seconds)) {
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+}
+
+void run_serving(core::ExperimentRunner& runner, core::JsonSink& json) {
+  const core::ServiceHarness harness(g_config);
+  const core::ClosedLoopReport report =
+      harness.run_closed_loop(runner, {}, &json);
+  const core::AdmissionPlan& plan = report.plan;
+
+  std::cout << "EXP-SERVE: closed loop requests=" << plan.offered
+            << " accepted=" << plan.accepted << " shed=" << plan.shed
+            << " batches=" << plan.batches.size()
+            << " batch_max=" << g_config.batch
+            << " queue_cap=" << g_config.queue_cap << "\n";
+  std::cout << "EXP-SERVE: latency_ticks p50=" << plan.slo.p50
+            << " p99=" << plan.slo.p99 << " p999=" << plan.slo.p999
+            << " max=" << plan.slo.max
+            << " queue_depth_max=" << plan.queue_depth_max << "\n";
+  std::cout << "EXP-SERVE: slo threshold_ticks="
+            << g_config.slo_latency_ticks
+            << " target=" << g_config.slo_target
+            << " violations=" << plan.slo.violations
+            << " error_budget_burn=" << plan.slo.error_budget_burn
+            << "\n";
+  std::cout << "EXP-SERVE: shard=" << runner.options().shard.to_string()
+            << " shard_batches=" << report.batches_run
+            << " shard_requests=" << report.shard_requests
+            << " decided_ok=" << report.shard_decided_ok << "\n";
+  std::cout << "wall: closed loop seconds=" << report.section.wall_seconds
+            << " batches_per_sec=" << report.section.runs_per_second
+            << " threads=" << runner.pool().threads() << "\n";
+
+  if (g_qps > 0) {
+    const core::OpenLoopReport open = harness.run_open_loop(
+        runner, g_qps, std::chrono::seconds(g_duration_seconds), &json);
+    std::cout << "wall: open loop qps_target=" << open.qps_target
+              << " qps_achieved=" << open.qps_achieved
+              << " offered=" << open.offered << " served=" << open.served
+              << " shed=" << open.shed << " unserved=" << open.unserved
+              << "\n";
+    std::cout << "wall: open loop latency_us p50=" << open.slo.p50
+              << " p99=" << open.slo.p99 << " p999=" << open.slo.p999
+              << " violations=" << open.slo.violations
+              << " error_budget_burn=" << open.slo.error_budget_burn
+              << "\n";
+  }
+}
+
+void BM_LoadGenArrivals(benchmark::State& state) {
+  const std::int64_t requests = state.range(0);
+  const core::LoadGen gen(core::LoadGenConfig{requests, 42, 8});
+  for (auto _ : state) {
+    const auto arrivals = gen.arrivals();
+    benchmark::DoNotOptimize(arrivals.data());
+  }
+  state.SetItemsProcessed(state.iterations() * requests);
+}
+BENCHMARK(BM_LoadGenArrivals)->Arg(100'000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_AdmissionPlan(benchmark::State& state) {
+  core::ServiceConfig config;
+  config.requests = state.range(0);
+  const core::ServiceHarness harness(config);
+  for (auto _ : state) {
+    const auto plan = harness.plan();
+    benchmark::DoNotOptimize(plan.batches.data());
+  }
+  state.SetItemsProcessed(state.iterations() * config.requests);
+}
+BENCHMARK(BM_AdmissionPlan)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+void BM_ServingBatch(benchmark::State& state) {
+  // One enforced-schedule agreement pass per iteration: the per-batch
+  // decision cost the admission plan's service model stands in for.
+  core::ServiceConfig config;
+  config.requests = 4096;
+  config.batch = static_cast<int>(state.range(0));
+  const core::ServiceHarness harness(config);
+  const core::AdmissionPlan plan = harness.plan();
+  std::int64_t slots = 0;
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const auto outcome =
+        harness.run_batch(plan, index++ % plan.batches.size());
+    slots += static_cast<std::int64_t>(outcome.decisions.size());
+    benchmark::DoNotOptimize(outcome.steps);
+  }
+  state.SetItemsProcessed(slots);
+}
+BENCHMARK(BM_ServingBatch)->Arg(1)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  strip_serving_flags(&argc, argv);
+  const auto options =
+      setlib::core::parse_runner_options(&argc, argv, "serving");
+  setlib::core::ExperimentRunner runner(options);
+  setlib::core::JsonSink json = runner.json_sink();
+  run_serving(runner, json);
+  json.write_if_requested();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -13,6 +13,9 @@ Three checks, all fatal on failure:
      file, so file presence == target presence).
   3. Every shipped bench binary (bench/*.cpp) is covered by
      docs/EXPERIMENTS.md.
+  4. Every public core header (src/core/*.h) is mentioned by stem in
+     docs/ARCHITECTURE.md — the layer map must not silently fall
+     behind the core surface.
 """
 import pathlib
 import re
@@ -63,10 +66,25 @@ def check_benches(root):
     return failures
 
 
+def check_core_headers(root):
+    failures = []
+    architecture = (root / "docs" / "ARCHITECTURE.md").read_text()
+    headers = sorted((root / "src" / "core").glob("*.h"))
+    for header in headers:
+        if not re.search(rf"\b{re.escape(header.stem)}\b", architecture):
+            failures.append(
+                f"src/core/{header.name} is a public core header, but "
+                f"ARCHITECTURE.md never mentions '{header.stem}'")
+    print(f"core headers: {len(headers)} shipped, "
+          f"{len(failures)} undocumented")
+    return failures
+
+
 def main():
     default_root = pathlib.Path(__file__).resolve().parent.parent
     root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else default_root
-    failures = check_links(root) + check_benches(root)
+    failures = (check_links(root) + check_benches(root) +
+                check_core_headers(root))
     for failure in failures:
         print(f"FAIL {failure}")
     if failures:

@@ -1,0 +1,41 @@
+#include "src/core/loadgen.h"
+
+#include "src/util/assert.h"
+#include "src/util/rng.h"
+
+namespace setlib::core {
+
+LoadGen::LoadGen(LoadGenConfig config) : config_(config) {
+  SETLIB_EXPECTS(config_.requests >= 0);
+  SETLIB_EXPECTS(config_.mean_interarrival_ticks >= 0);
+}
+
+std::int64_t LoadGen::command(std::int64_t id) const noexcept {
+  // Stateless mix so command(id) needs no generator state: fold the id
+  // into the seed with the splitmix64 increment, then hash. The top
+  // bits keep the value in [0, 2^31).
+  std::uint64_t state =
+      config_.seed + 0x9e3779b97f4a7c15ULL *
+                         (static_cast<std::uint64_t>(id) + 1);
+  return static_cast<std::int64_t>(splitmix64(state) >> 33);
+}
+
+std::vector<Request> LoadGen::arrivals() const {
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(config_.requests));
+  Rng rng(config_.seed);
+  std::int64_t tick = 0;
+  for (std::int64_t id = 0; id < config_.requests; ++id) {
+    tick += config_.mean_interarrival_ticks == 0
+                ? 0
+                : rng.next_in(0, 2 * config_.mean_interarrival_ticks);
+    Request r;
+    r.id = id;
+    r.command = command(id);
+    r.arrival_tick = tick;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace setlib::core
