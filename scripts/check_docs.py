@@ -16,6 +16,9 @@ Three checks, all fatal on failure:
   4. Every public core header (src/core/*.h) is mentioned by stem in
      docs/ARCHITECTURE.md — the layer map must not silently fall
      behind the core surface.
+  5. Every runtime header (src/runtime/*.h) is mentioned by stem in
+     docs/ARCHITECTURE.md — same rule for the runtime layer (the
+     orchestration transport seam lives there).
 """
 import pathlib
 import re
@@ -66,16 +69,16 @@ def check_benches(root):
     return failures
 
 
-def check_core_headers(root):
+def check_headers(root, layer):
     failures = []
     architecture = (root / "docs" / "ARCHITECTURE.md").read_text()
-    headers = sorted((root / "src" / "core").glob("*.h"))
+    headers = sorted((root / "src" / layer).glob("*.h"))
     for header in headers:
         if not re.search(rf"\b{re.escape(header.stem)}\b", architecture):
             failures.append(
-                f"src/core/{header.name} is a public core header, but "
-                f"ARCHITECTURE.md never mentions '{header.stem}'")
-    print(f"core headers: {len(headers)} shipped, "
+                f"src/{layer}/{header.name} is a public {layer} header, "
+                f"but ARCHITECTURE.md never mentions '{header.stem}'")
+    print(f"{layer} headers: {len(headers)} shipped, "
           f"{len(failures)} undocumented")
     return failures
 
@@ -84,7 +87,8 @@ def main():
     default_root = pathlib.Path(__file__).resolve().parent.parent
     root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else default_root
     failures = (check_links(root) + check_benches(root) +
-                check_core_headers(root))
+                check_headers(root, "core") +
+                check_headers(root, "runtime"))
     for failure in failures:
         print(f"FAIL {failure}")
     if failures:

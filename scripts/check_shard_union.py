@@ -18,9 +18,11 @@ Two modes:
     must be bit-identical in canonical form (sorted keys) after
     stripping timing keys.
 
-Timing keys — the only fields allowed to differ — are "runs_per_sec"
-and any key containing "wall", "seconds", or "speedup". This mirrors
-core::is_timing_key in src/core/report.cpp; keep the two in sync.
+Timing keys — the only fields allowed to differ — are "runs_per_sec",
+"orchestration" (the elastic orchestrator's lease/straggler report:
+pure scheduling facts), and any key containing "wall", "seconds", or
+"speedup". This mirrors core::is_timing_key in src/core/report.cpp;
+keep the two in sync.
 """
 import difflib
 import json
@@ -33,8 +35,8 @@ def load(path):
 
 
 def is_timing_key(key):
-    return (key == "runs_per_sec" or "wall" in key or "seconds" in key
-            or "speedup" in key)
+    return (key == "runs_per_sec" or key == "orchestration"
+            or "wall" in key or "seconds" in key or "speedup" in key)
 
 
 def strip_timing(obj):

@@ -13,11 +13,19 @@
 namespace setlib::core {
 
 std::string ShardSpec::to_string() const {
+  if (leased) {
+    return std::to_string(lo) + ".." + std::to_string(hi) + "/" +
+           std::to_string(span);
+  }
   return std::to_string(k) + "/" + std::to_string(n);
 }
 
 std::pair<std::size_t, std::size_t> ShardSpec::range(
     std::size_t total) const {
+  if (leased) {
+    SETLIB_EXPECTS(span >= 1 && lo <= hi && hi <= span);
+    return {total * lo / span, total * hi / span};
+  }
   SETLIB_EXPECTS(n >= 1 && k < n);
   return {total * k / n, total * (k + 1) / n};
 }
@@ -348,7 +356,7 @@ void JsonSink::write_if_requested() const {
 // Shard-document merging.
 
 bool is_timing_key(const std::string& key) {
-  return key == "runs_per_sec" ||
+  return key == "runs_per_sec" || key == "orchestration" ||
          key.find("wall") != std::string::npos ||
          key.find("seconds") != std::string::npos ||
          key.find("speedup") != std::string::npos;
@@ -636,9 +644,13 @@ JsonValue merge_section(const std::vector<const JsonValue*>& parts) {
         if (agreed == nullptr) {
           agreed = value;
         } else if (!(*agreed == *value)) {
+          // Name the key and render both literals: a kSame mismatch
+          // is a determinism bug somewhere upstream, and "a key
+          // disagreed" is not actionable without the values.
           throw MergeError("section \"" + name + "\": shards disagree "
                            "on invariant key \"" +
-                           key + "\"");
+                           key + "\": " + agreed->dump() + " vs " +
+                           value->dump());
         }
       }
       out.set(key, *agreed);
@@ -662,35 +674,112 @@ JsonValue merge_section(const std::vector<const JsonValue*>& parts) {
   return out;
 }
 
+/// Parses the "LO..HI/SPAN" shard field of a lease document.
+bool parse_lease_field(const std::string& text, std::size_t* lo,
+                       std::size_t* hi, std::size_t* span) {
+  const std::size_t dots = text.find("..");
+  if (dots == std::string::npos) return false;
+  const std::size_t slash = text.find('/', dots + 2);
+  if (slash == std::string::npos) return false;
+  return parse_shard_index(text.substr(0, dots), lo) &&
+         parse_shard_index(text.substr(dots + 2, slash - dots - 2),
+                           hi) &&
+         parse_shard_index(text.substr(slash + 1), span);
+}
+
 JsonValue merge_shard_docs_impl(const std::vector<JsonValue>& docs) {
   if (docs.empty()) {
     throw MergeError("merge_shard_docs: no shard documents given");
   }
   const std::size_t n = docs.size();
-  std::vector<const JsonValue*> by_k(n, nullptr);
-  for (const JsonValue& doc : docs) {
-    const std::string& shard = doc.at("shard").as_string();
-    const std::size_t slash = shard.find('/');
-    std::size_t k = 0;
-    std::size_t shard_n = 0;
-    if (slash == std::string::npos ||
-        !parse_shard_index(shard.substr(0, slash), &k) ||
-        !parse_shard_index(shard.substr(slash + 1), &shard_n)) {
-      throw MergeError("malformed shard field \"" + shard + "\"");
+  std::vector<const JsonValue*> by_k;
+  // Static shards carry "K/N"; lease documents (the elastic work
+  // queue's workers) carry "LO..HI/SPAN". A merge is one mode or the
+  // other — the first document decides, stragglers of the other kind
+  // fail their parse below.
+  if (docs[0].at("shard").as_string().find("..") != std::string::npos) {
+    // Lease mode: any document count is legal, in any completion
+    // order and with any split history, as long as the ranges tile
+    // the virtual span exactly once — a gap means a lost lease, an
+    // overlap a double-counted one, and both must fail loudly.
+    struct LeasePart {
+      const JsonValue* doc;
+      std::size_t lo, hi, span;
+    };
+    std::vector<LeasePart> parts;
+    parts.reserve(n);
+    std::size_t span = 0;
+    for (const JsonValue& doc : docs) {
+      const std::string& shard = doc.at("shard").as_string();
+      LeasePart part{&doc, 0, 0, 0};
+      if (!parse_lease_field(shard, &part.lo, &part.hi, &part.span)) {
+        throw MergeError("malformed lease shard field \"" + shard +
+                         "\"");
+      }
+      if (part.span < 1 || part.lo >= part.hi ||
+          part.hi > part.span) {
+        throw MergeError("lease shard \"" + shard +
+                         "\" violates 0 <= LO < HI <= SPAN");
+      }
+      if (span == 0) {
+        span = part.span;
+      } else if (part.span != span) {
+        throw MergeError("lease documents disagree on the span: " +
+                         std::to_string(span) + " vs " +
+                         std::to_string(part.span));
+      }
+      parts.push_back(part);
     }
-    if (shard_n != n) {
-      throw MergeError("document claims shard " + shard + " but " +
-                       std::to_string(n) + " documents were given");
+    std::sort(parts.begin(), parts.end(),
+              [](const LeasePart& a, const LeasePart& b) {
+                return a.lo < b.lo;
+              });
+    std::size_t expect = 0;
+    for (const LeasePart& part : parts) {
+      if (part.lo > expect) {
+        throw MergeError("lease documents leave a gap: virtual cells " +
+                         std::to_string(expect) + ".." +
+                         std::to_string(part.lo) + " are uncovered");
+      }
+      if (part.lo < expect) {
+        throw MergeError("lease documents overlap at virtual cell " +
+                         std::to_string(part.lo));
+      }
+      expect = part.hi;
+      by_k.push_back(part.doc);
     }
-    if (k >= n) {
-      throw MergeError("shard index out of range in \"" + shard + "\"");
+    if (expect != span) {
+      throw MergeError("lease documents leave a gap: virtual cells " +
+                       std::to_string(expect) + ".." +
+                       std::to_string(span) + " are uncovered");
     }
-    if (by_k[k] != nullptr) {
-      throw MergeError("duplicate shard " + shard);
+  } else {
+    by_k.assign(n, nullptr);
+    for (const JsonValue& doc : docs) {
+      const std::string& shard = doc.at("shard").as_string();
+      const std::size_t slash = shard.find('/');
+      std::size_t k = 0;
+      std::size_t shard_n = 0;
+      if (slash == std::string::npos ||
+          !parse_shard_index(shard.substr(0, slash), &k) ||
+          !parse_shard_index(shard.substr(slash + 1), &shard_n)) {
+        throw MergeError("malformed shard field \"" + shard + "\"");
+      }
+      if (shard_n != n) {
+        throw MergeError("document claims shard " + shard + " but " +
+                         std::to_string(n) + " documents were given");
+      }
+      if (k >= n) {
+        throw MergeError("shard index out of range in \"" + shard +
+                         "\"");
+      }
+      if (by_k[k] != nullptr) {
+        throw MergeError("duplicate shard " + shard);
+      }
+      by_k[k] = &doc;
     }
-    by_k[k] = &doc;
+    // n documents, n distinct indices < n: every slot is filled.
   }
-  // n documents, n distinct indices < n: every slot is filled.
 
   const JsonValue& first = *by_k[0];
   for (const char* key : {"bench", "threads", "repeat"}) {

@@ -40,12 +40,34 @@ namespace setlib::core {
 /// covers [total*k/n, total*(k+1)/n). Shards are contiguous and in
 /// index order, so the union of shards 0..n-1 is bit-identical to the
 /// unsharded run.
+///
+/// Lease mode (`--cells=LO..HI[/SPAN]`, the elastic work queue's
+/// worker flag) generalizes the fraction: instead of the k-th of n
+/// equal slices, the shard covers the [lo, hi) sub-range of a
+/// span-wide virtual cell space, i.e. [total*lo/span, total*hi/span)
+/// of every real space of size total. `--shard=K/N` is exactly
+/// lease {lo=K, hi=K+1, span=N}; the separate encoding exists so a
+/// work queue can carve, split, and re-lease ranges of the virtual
+/// space without knowing any section's cell count — ranges that tile
+/// [0, span) tile every section, whatever its size (floor arithmetic
+/// maps shared boundaries to shared boundaries).
 struct ShardSpec {
+  /// Default virtual-space width for lease mode; wide enough that
+  /// splitting halves stays meaningful far past any real worker count.
+  static constexpr std::size_t kLeaseSpan = std::size_t{1} << 20;
+
   std::size_t k = 0;  // shard index
   std::size_t n = 1;  // shard count
+  // Lease mode (used instead of k/n when `leased` is set).
+  bool leased = false;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::size_t span = kLeaseSpan;
 
-  bool whole() const noexcept { return n == 1; }
-  std::string to_string() const;  // "k/n"
+  bool whole() const noexcept {
+    return leased ? (lo == 0 && hi == span) : n == 1;
+  }
+  std::string to_string() const;  // "k/n" or "lo..hi/span"
   /// This shard's slice of [0, total), as {begin, end}.
   std::pair<std::size_t, std::size_t> range(std::size_t total) const;
 };
@@ -241,8 +263,11 @@ class JsonSink : public ReportSink {
 // ---------------------------------------------------------------------
 // Shard-document merging: the recombination rule behind the
 // multi-process orchestrator. Given the N parsed --shard=K/N --json
-// documents of one bench, merge_shard_docs produces the document the
-// unsharded run would have written, bit-identical modulo timing keys:
+// documents of one bench — or any set of --cells=LO..HI lease
+// documents whose ranges tile the virtual span exactly once (any
+// count, any split history, any completion order) — merge_shard_docs
+// produces the document the unsharded run would have written,
+// bit-identical modulo timing keys:
 //
 //   - grid sections: the per-cell "rows" arrays concatenate in shard
 //     order (global indices must stay strictly increasing), and every
@@ -266,8 +291,10 @@ class MergeError : public std::runtime_error {
 };
 
 /// True for wall-clock-derived keys, which no determinism diff may
-/// compare: "runs_per_sec" and any key containing "wall", "seconds",
-/// or "speedup". Mirrored by scripts/check_shard_union.py.
+/// compare: "runs_per_sec", any key containing "wall", "seconds", or
+/// "speedup", and "orchestration" (the elastic orchestrator's
+/// lease/straggler report — pure scheduling facts). Mirrored by
+/// scripts/check_shard_union.py.
 bool is_timing_key(const std::string& key);
 
 /// Deep-copies `value` with every is_timing_key object member removed.

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <climits>
+#include <cmath>
 #include <cstdlib>
 
 #include "src/util/assert.h"
@@ -54,6 +55,32 @@ bool consume_int_flag(const std::string& arg, const std::string& prefix,
   return true;
 }
 
+double parse_double_value(const std::string& text,
+                          const std::string& flag) {
+  if (text.empty()) {
+    throw ContractViolation(flag + ": empty value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || end == nullptr || *end != '\0') {
+    throw ContractViolation(flag + ": expected a number, got '" + text +
+                            "'");
+  }
+  if (errno == ERANGE || !std::isfinite(parsed)) {
+    throw ContractViolation(flag + ": value '" + text +
+                            "' is out of range");
+  }
+  return parsed;
+}
+
+bool consume_double_flag(const std::string& arg,
+                         const std::string& prefix, double* out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = parse_double_value(arg.substr(prefix.size()), prefix);
+  return true;
+}
+
 namespace {
 
 bool consume_shard_flag(const std::string& arg, ShardSpec* out) {
@@ -76,6 +103,37 @@ bool consume_shard_flag(const std::string& arg, ShardSpec* out) {
   return true;
 }
 
+bool consume_cells_flag(const std::string& arg, ShardSpec* out) {
+  const std::string prefix = "--cells=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(prefix.size());
+  const std::size_t dots = value.find("..");
+  if (dots == std::string::npos) {
+    throw ContractViolation(prefix + ": expected LO..HI[/SPAN], got '" +
+                            value + "'");
+  }
+  const std::size_t slash = value.find('/', dots + 2);
+  const long lo = parse_long_value(value.substr(0, dots), prefix);
+  const long hi = parse_long_value(
+      slash == std::string::npos
+          ? value.substr(dots + 2)
+          : value.substr(dots + 2, slash - dots - 2),
+      prefix);
+  long span = static_cast<long>(ShardSpec::kLeaseSpan);
+  if (slash != std::string::npos) {
+    span = parse_long_value(value.substr(slash + 1), prefix);
+  }
+  if (span < 1 || lo < 0 || lo > hi || hi > span) {
+    throw ContractViolation(prefix + ": lease '" + value +
+                            "' violates 0 <= LO <= HI <= SPAN");
+  }
+  out->leased = true;
+  out->lo = static_cast<std::size_t>(lo);
+  out->hi = static_cast<std::size_t>(hi);
+  out->span = static_cast<std::size_t>(span);
+  return true;
+}
+
 }  // namespace
 
 RunnerOptions parse_runner_options(int* argc, char** argv,
@@ -87,6 +145,8 @@ RunnerOptions parse_runner_options(int* argc, char** argv,
   // default (single source of truth for the naming scheme).
 
   int kept = 1;  // argv[0] always stays
+  bool shard_given = false;
+  bool cells_given = false;
   for (int i = 1; i < *argc; ++i) {
     const std::string arg = argv[i];
     if (consume_int_flag(arg, "--threads=", &options.threads)) {
@@ -103,7 +163,14 @@ RunnerOptions parse_runner_options(int* argc, char** argv,
       options.grain = static_cast<std::size_t>(grain);
       continue;
     }
-    if (consume_shard_flag(arg, &options.shard)) continue;
+    if (consume_shard_flag(arg, &options.shard)) {
+      shard_given = true;
+      continue;
+    }
+    if (consume_cells_flag(arg, &options.shard)) {
+      cells_given = true;
+      continue;
+    }
     if (arg == "--json") {
       options.json = true;
       continue;
@@ -115,6 +182,11 @@ RunnerOptions parse_runner_options(int* argc, char** argv,
       continue;
     }
     argv[kept++] = argv[i];
+  }
+  if (shard_given && cells_given) {
+    throw ContractViolation(
+        "--shard= and --cells= are mutually exclusive: a worker is "
+        "either a static shard or a leased range, not both");
   }
   *argc = kept;
   return options;

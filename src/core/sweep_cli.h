@@ -8,6 +8,12 @@
 //   --shard=K/N    run the K-th of N contiguous slices of every cell
 //                  space; the union of all N shards is bit-identical
 //                  to the unsharded run (modulo wall-clock fields)
+//   --cells=LO..HI[/SPAN]
+//                  lease form of --shard (the elastic orchestrator's
+//                  worker flag): run the [LO, HI) slice of a SPAN-wide
+//                  virtual cell space (default ShardSpec::kLeaseSpan);
+//                  documents of leases tiling [0, SPAN) merge to the
+//                  unsharded document. Mutually exclusive with --shard.
 //   --grain=N      indices per work-stealing pop (0 = auto)
 //   --json[=path]  write BENCH_<name>.json (sections, throughput,
 //                  per-cell latency percentiles and rows)
@@ -37,6 +43,11 @@ long parse_long_value(const std::string& text, const std::string& flag);
 /// [INT_MIN, INT_MAX] instead of wrapping.
 int parse_int_value(const std::string& text, const std::string& flag);
 
+/// Strict parse of a floating-point flag value (strtod, whole-string,
+/// finite). Same error discipline as parse_long_value.
+double parse_double_value(const std::string& text,
+                          const std::string& flag);
+
 /// If arg starts with prefix ("--threads="), parses the remainder into
 /// *out and returns true; returns false when the prefix does not
 /// match. Parse failures throw (see parse_long_value).
@@ -44,6 +55,8 @@ bool consume_long_flag(const std::string& arg, const std::string& prefix,
                        long* out);
 bool consume_int_flag(const std::string& arg, const std::string& prefix,
                       int* out);
+bool consume_double_flag(const std::string& arg,
+                         const std::string& prefix, double* out);
 
 }  // namespace setlib::core
 

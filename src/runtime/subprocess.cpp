@@ -15,6 +15,8 @@
 
 #include "src/util/assert.h"
 
+extern char** environ;  // POSIX: may not be declared by any header
+
 namespace setlib::runtime {
 
 namespace {
@@ -94,6 +96,17 @@ SubprocessResult Subprocess::run(const std::vector<std::string>& argv,
     cargv.push_back(const_cast<char*>(arg.c_str()));
   }
   cargv.push_back(nullptr);
+  // Likewise the environment: inherited block first, extras appended
+  // (the strings outlive the child's exec window — argv/options are
+  // the caller's, environ is the process's).
+  std::vector<char*> cenvp;
+  if (!options.env.empty()) {
+    for (char** e = ::environ; *e != nullptr; ++e) cenvp.push_back(*e);
+    for (const std::string& entry : options.env) {
+      cenvp.push_back(const_cast<char*>(entry.c_str()));
+    }
+    cenvp.push_back(nullptr);
+  }
 
   const pid_t pid = ::fork();
   if (pid < 0) {
@@ -115,7 +128,11 @@ SubprocessResult Subprocess::run(const std::vector<std::string>& argv,
     ::close(out_pipe[1]);
     ::close(err_pipe[0]);
     ::close(err_pipe[1]);
-    ::execvp(cargv[0], cargv.data());
+    if (cenvp.empty()) {
+      ::execvp(cargv[0], cargv.data());
+    } else {
+      ::execvpe(cargv[0], cargv.data(), cenvp.data());
+    }
     const char* prefix = "exec failed: errno ";
     char digits[16];  // decimal errno, least-significant first
     int len = 0;

@@ -39,6 +39,12 @@ struct SubprocessResult {
 struct SubprocessOptions {
   /// Wall-clock budget for the child; zero means no limit.
   std::chrono::milliseconds timeout = std::chrono::milliseconds(0);
+  /// Extra KEY=VALUE entries appended to the inherited environment
+  /// (later entries win over inherited ones, per execvpe semantics of
+  /// duplicate keys: the first match in the array is what getenv
+  /// sees — extras are appended after the inherited block, so an
+  /// inherited key shadows a same-named extra; pass unique keys).
+  std::vector<std::string> env;
 };
 
 class Subprocess {

@@ -1,0 +1,56 @@
+#include "src/runtime/transport.h"
+
+#include <cstdio>
+
+#include "src/util/assert.h"
+
+namespace setlib::runtime {
+
+SubprocessResult LocalExecTransport::run(
+    const TransportCommand& command) {
+  SETLIB_EXPECTS(!command.argv.empty());
+  Subprocess::Options options;
+  options.timeout = command.timeout;
+  options.env = command.env;
+  return Subprocess::run(command.argv, options);
+}
+
+ChaosKillTransport::ChaosKillTransport(Transport& inner, int kill_nth,
+                                       std::chrono::milliseconds delay)
+    : inner_(inner), kill_nth_(kill_nth), delay_(delay) {
+  SETLIB_EXPECTS(kill_nth >= 0);
+  SETLIB_EXPECTS(delay.count() >= 0);
+}
+
+SubprocessResult ChaosKillTransport::run(
+    const TransportCommand& command) {
+  const int launch = launches_.fetch_add(1) + 1;
+  if (kill_nth_ == 0 || launch != kill_nth_) {
+    return inner_.run(command);
+  }
+  kills_.fetch_add(1);
+  // Re-shape the command so the worker runs under a killer shell: the
+  // worker starts normally, and `delay` later the shell SIGKILLs it.
+  // Expressing the sabotage as an argv rewrite keeps the decorator
+  // transport-agnostic — the same wrapper would kill a worker started
+  // over ssh. (If the worker finishes before the kill fires, the
+  // launch simply succeeds; chaos tests that must observe a death use
+  // delay 0, which kills the worker as it starts.)
+  char delay_text[32];
+  std::snprintf(delay_text, sizeof delay_text, "%.3f",
+                static_cast<double>(delay_.count()) / 1000.0);
+  TransportCommand sabotaged = command;
+  sabotaged.argv = {"/bin/sh", "-c",
+                    "\"$@\" & c=$!; sleep " + std::string(delay_text) +
+                        "; kill -9 $c 2>/dev/null; wait $c",
+                    "chaos"};
+  sabotaged.argv.insert(sabotaged.argv.end(), command.argv.begin(),
+                        command.argv.end());
+  return inner_.run(sabotaged);
+}
+
+std::string ChaosKillTransport::describe() const {
+  return inner_.describe() + "+chaos-kill";
+}
+
+}  // namespace setlib::runtime

@@ -1,0 +1,96 @@
+// The transport seam of the orchestration subsystem: how an
+// orchestrator launches a worker command somewhere and gets its
+// stdout/stderr/exit status back.
+//
+// Orchestrator code (core::orchestrate, core::orchestrate_elastic,
+// tools/sweep_orchestrator) never touches runtime::Subprocess — or
+// fork — directly; it hands a TransportCommand (argv + extra env +
+// wall budget) to a Transport and receives a SubprocessResult. Today
+// the only production transport is LocalExecTransport, a thin wrapper
+// over runtime::Subprocess, but the interface is shaped so an
+// ssh-style remote transport is a drop-in: everything a worker needs
+// travels in the command (the bench path, the `--cells=LO..HI` lease,
+// the `--json=` output path), and everything the orchestrator needs
+// comes back in the result. A remote transport would run the same
+// argv on another host and ship the JSON document home; nothing above
+// this seam would change (see docs/ORCHESTRATION.md for the sketch).
+//
+// ChaosKillTransport is the fault-injection decorator used by the
+// chaos tests and the CI elastic-orchestration job: it forwards to an
+// inner transport but SIGKILLs selected launches mid-run, simulating
+// the dead worker the lease protocol must survive.
+#ifndef SETLIB_RUNTIME_TRANSPORT_H
+#define SETLIB_RUNTIME_TRANSPORT_H
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "src/runtime/subprocess.h"
+
+namespace setlib::runtime {
+
+/// Everything needed to run one worker, transport-agnostic.
+struct TransportCommand {
+  /// argv[0] is the worker binary (PATH-resolved by the transport).
+  std::vector<std::string> argv;
+  /// Extra KEY=VALUE environment entries appended to the transport's
+  /// inherited environment (e.g. SETLIB_LEASE=<id> so a worker can
+  /// label its logs).
+  std::vector<std::string> env;
+  /// Wall-clock budget; zero means no limit. A worker that outlives
+  /// it is killed and reported timed_out.
+  std::chrono::milliseconds timeout{0};
+};
+
+/// Launches worker commands and collects their outcome. Thread-safe:
+/// the orchestrator calls run() concurrently from its worker threads,
+/// one blocking call per in-flight worker.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Runs the command to completion (or timeout). Never throws on
+  /// worker failure — the result carries the outcome.
+  virtual SubprocessResult run(const TransportCommand& command) = 0;
+
+  /// Short human label ("local", "ssh host", ...) for reports.
+  virtual std::string describe() const = 0;
+};
+
+/// The production transport: fork/exec on this host via
+/// runtime::Subprocess.
+class LocalExecTransport final : public Transport {
+ public:
+  SubprocessResult run(const TransportCommand& command) override;
+  std::string describe() const override { return "local"; }
+};
+
+/// Fault-injection decorator: forwards every launch to the inner
+/// transport, but the kill_nth-th launch (1-based; 0 disables) is
+/// wrapped so the worker is SIGKILLed `delay` after it starts —
+/// a worker dying mid-run, as seen from the orchestrator. Subsequent
+/// launches pass through untouched.
+class ChaosKillTransport final : public Transport {
+ public:
+  ChaosKillTransport(Transport& inner, int kill_nth,
+                     std::chrono::milliseconds delay);
+
+  SubprocessResult run(const TransportCommand& command) override;
+  std::string describe() const override;
+
+  /// How many launches were sabotaged so far (0 or 1).
+  int kills() const noexcept { return kills_.load(); }
+
+ private:
+  Transport& inner_;
+  const int kill_nth_;
+  const std::chrono::milliseconds delay_;
+  std::atomic<int> launches_{0};
+  std::atomic<int> kills_{0};
+};
+
+}  // namespace setlib::runtime
+
+#endif  // SETLIB_RUNTIME_TRANSPORT_H

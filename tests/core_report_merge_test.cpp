@@ -54,6 +54,30 @@ JsonValue bench_doc(std::size_t k, std::size_t n) {
   return JsonValue::parse(json.render());
 }
 
+/// The same bench document for a --cells=LO..HI[/SPAN] lease worker.
+JsonValue bench_lease_doc(std::size_t lo, std::size_t hi,
+                          std::size_t span = ShardSpec::kLeaseSpan) {
+  RunnerOptions options;
+  options.name = "merge_test";
+  options.threads = 2;
+  options.shard.leased = true;
+  options.shard.lo = lo;
+  options.shard.hi = hi;
+  options.shard.span = span;
+  ExperimentRunner runner(options);
+  JsonSink json = runner.json_sink();
+
+  runner.run(small_grid(), "grid_section", {&json});
+
+  const auto [begin, end] = runner.shard_range(10);
+  json.section("hand_fed", end - begin, 0.25,
+               {{"successes", static_cast<double>(end - begin)}});
+  json.annotate("mismatches",
+                lo == 0 ? 1.0 : 0.0);  // lease-local count
+  json.annotate("invariant_fact", 7.0, MergeRule::kSame);
+  return JsonValue::parse(json.render());
+}
+
 std::string comparable(const JsonValue& doc) {
   return canonical_json(strip_timing_keys(doc));
 }
@@ -165,9 +189,16 @@ TEST(MergeShardDocsTest, DisagreeingInvariantKeyIsAnError) {
                         "runs_per_sec": 0, "same_keys": ["inv"],
                         "inv": 8}],
           "total_cells": 1, "total_wall_seconds": 0, "runs_per_sec": 0})";
-  EXPECT_THROW(merge_shard_docs({JsonValue::parse(shard0),
-                                 JsonValue::parse(shard1)}),
-               MergeError);
+  try {
+    merge_shard_docs({JsonValue::parse(shard0), JsonValue::parse(shard1)});
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& e) {
+    // The message names the key and renders both literals: "a key
+    // disagreed" alone is not actionable.
+    EXPECT_STREQ(e.what(),
+                 "section \"s\": shards disagree on invariant key "
+                 "\"inv\": 7 vs 8");
+  }
 }
 
 TEST(MergeShardDocsTest, EmptyInputIsAnError) {
@@ -183,6 +214,70 @@ TEST(MergeShardDocsTest, MalformedShardFieldIsAnError) {
     a.set("shard", JsonValue::of(bad));
     EXPECT_THROW(merge_shard_docs({a, b}), MergeError) << bad;
   }
+}
+
+TEST(MergeShardDocsTest, LeaseDocsMergeBitIdenticalToTheUnshardedDoc) {
+  // Any set of lease documents whose ranges tile the virtual span —
+  // any count, uneven widths, shuffled completion order — merges to
+  // the unsharded document, and to the same document the static K/N
+  // merge produces.
+  const JsonValue full = bench_doc(0, 1);
+  const std::size_t span = ShardSpec::kLeaseSpan;
+
+  // A single whole-span lease is the unsharded run.
+  EXPECT_EQ(comparable(merge_shard_docs({bench_lease_doc(0, span)})),
+            comparable(full));
+
+  // An uneven three-way tiling, given out of order (as an elastic run
+  // with resharding would produce).
+  std::vector<JsonValue> leases;
+  leases.push_back(bench_lease_doc(700'000, span));
+  leases.push_back(bench_lease_doc(0, 100'000));
+  leases.push_back(bench_lease_doc(100'000, 700'000));
+  const JsonValue merged = merge_shard_docs(leases);
+  EXPECT_EQ(comparable(merged), comparable(full));
+  EXPECT_EQ(merged.at("shard").as_string(), "0/1");
+
+  // --shard=K/N is exactly lease {K, K+1, N}.
+  std::vector<JsonValue> as_leases;
+  std::vector<JsonValue> as_shards;
+  for (std::size_t k = 0; k < 3; ++k) {
+    as_leases.push_back(bench_lease_doc(k, k + 1, 3));
+    as_shards.push_back(bench_doc(k, 3));
+  }
+  EXPECT_EQ(comparable(merge_shard_docs(as_leases)),
+            comparable(merge_shard_docs(as_shards)));
+}
+
+TEST(MergeShardDocsTest, LeaseTilingViolationsAreErrors) {
+  const std::size_t span = ShardSpec::kLeaseSpan;
+  auto lease = [](std::size_t lo, std::size_t hi) {
+    return bench_lease_doc(lo, hi);
+  };
+  // A gap means a lost lease...
+  EXPECT_THROW(merge_shard_docs({lease(0, 1'000), lease(2'000, span)}),
+               MergeError);
+  // ...an overlap a double-counted one...
+  EXPECT_THROW(
+      merge_shard_docs({lease(0, 600'000), lease(500'000, span)}),
+      MergeError);
+  // ...and a tiling must start at 0 and reach the span.
+  EXPECT_THROW(merge_shard_docs({lease(0, 1'000)}), MergeError);
+  EXPECT_THROW(merge_shard_docs({lease(1'000, span)}), MergeError);
+  // Documents must agree on the span.
+  EXPECT_THROW(merge_shard_docs({bench_lease_doc(0, 512, 1'024),
+                                 bench_lease_doc(512, 2'048, 2'048)}),
+               MergeError);
+  // An empty lease range is malformed, not a harmless no-op.
+  EXPECT_THROW(
+      merge_shard_docs({bench_lease_doc(0, 5), bench_lease_doc(5, 5),
+                        bench_lease_doc(5, span)}),
+      MergeError);
+  // Lease and static documents never mix, in either order.
+  EXPECT_THROW(merge_shard_docs({lease(0, span), bench_doc(0, 2)}),
+               MergeError);
+  EXPECT_THROW(merge_shard_docs({bench_doc(0, 2), lease(0, span)}),
+               MergeError);
 }
 
 TEST(JsonSinkContractTest, EveryRenderedDocumentParsesStrictly) {

@@ -83,6 +83,61 @@ TEST(SweepCliTest, ShardFlagValidatesItsShape) {
                ContractViolation);
 }
 
+TEST(SweepCliTest, CellsFlagParsesLeases) {
+  // Bare LO..HI rides on the default virtual span.
+  RunnerOptions options = parse({"--cells=1024..4096"});
+  EXPECT_TRUE(options.shard.leased);
+  EXPECT_EQ(options.shard.lo, 1024u);
+  EXPECT_EQ(options.shard.hi, 4096u);
+  EXPECT_EQ(options.shard.span, ShardSpec::kLeaseSpan);
+  EXPECT_EQ(options.shard.to_string(), "1024..4096/1048576");
+  EXPECT_FALSE(options.shard.whole());
+  // An explicit span travels after the slash.
+  options = parse({"--cells=2..6/8"});
+  EXPECT_TRUE(options.shard.leased);
+  EXPECT_EQ(options.shard.lo, 2u);
+  EXPECT_EQ(options.shard.hi, 6u);
+  EXPECT_EQ(options.shard.span, 8u);
+  // [total*lo/span, total*hi/span): the floor arithmetic that makes
+  // tilings of the virtual span tile every real space.
+  const auto [begin, end] = options.shard.range(10);
+  EXPECT_EQ(begin, 2u);
+  EXPECT_EQ(end, 7u);
+  // The whole span is the unsharded run.
+  EXPECT_TRUE(parse({"--cells=0..8/8"}).shard.whole());
+}
+
+TEST(SweepCliTest, CellsFlagValidatesItsShape) {
+  EXPECT_THROW(parse({"--cells=5"}), ContractViolation);
+  EXPECT_THROW(parse({"--cells=5..4"}), ContractViolation);
+  EXPECT_THROW(parse({"--cells=0..9/8"}), ContractViolation);
+  EXPECT_THROW(parse({"--cells=-1..4"}), ContractViolation);
+  EXPECT_THROW(parse({"--cells=0..4/0"}), ContractViolation);
+  EXPECT_THROW(parse({"--cells=0..4x"}), ContractViolation);
+  EXPECT_THROW(parse({"--cells=..4"}), ContractViolation);
+  EXPECT_THROW(parse({"--cells=0../8"}), ContractViolation);
+}
+
+TEST(SweepCliTest, ShardAndCellsAreMutuallyExclusive) {
+  EXPECT_THROW(parse({"--shard=0/2", "--cells=0..8/8"}),
+               ContractViolation);
+  EXPECT_THROW(parse({"--cells=0..8/8", "--shard=0/2"}),
+               ContractViolation);
+}
+
+TEST(SweepCliTest, DoubleValuesParseStrictly) {
+  EXPECT_DOUBLE_EQ(parse_double_value("2.5", "--f="), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double_value("4", "--f="), 4.0);
+  EXPECT_THROW(parse_double_value("", "--f="), ContractViolation);
+  EXPECT_THROW(parse_double_value("2.5x", "--f="), ContractViolation);
+  EXPECT_THROW(parse_double_value("nan", "--f="), ContractViolation);
+  EXPECT_THROW(parse_double_value("1e999", "--f="), ContractViolation);
+  double out = 0.0;
+  EXPECT_TRUE(consume_double_flag("--f=1.5", "--f=", &out));
+  EXPECT_DOUBLE_EQ(out, 1.5);
+  EXPECT_FALSE(consume_double_flag("--g=1.5", "--f=", &out));
+}
+
 TEST(SweepCliTest, NegativeCountsAreRejected) {
   EXPECT_THROW(parse({"--threads=-1"}), ContractViolation);
   EXPECT_THROW(parse({"--repeat=0"}), ContractViolation);

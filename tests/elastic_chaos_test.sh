@@ -1,0 +1,49 @@
+#!/bin/sh
+# End-to-end elastic chaos: orchestrate a real bench at N=3 workers,
+# SIGKILL one worker mid-run through the chaos transport, and assert
+# the merged document is still bit-identical (modulo timing keys) to
+# the unsharded run, with the murdered worker's lease resharded.
+#
+#   elastic_chaos_test.sh <sweep_orchestrator> <bench> <check_shard_union.py>
+#
+# The delay-0 kill races the bench's own (few-ms) runtime, so a kill
+# can occasionally miss — the orchestration is retried until a kill
+# lands (the merge must be bit-identical on every attempt either way).
+set -eu
+
+ORCH=$1
+BENCH=$2
+CHECK=$3
+
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+"$BENCH" --threads=2 --json=FULL.json --benchmark_list_tests > /dev/null
+
+attempt=1
+while :; do
+  "$ORCH" "$BENCH" --workers=3 --ranges=9 \
+    --chaos-kill-nth=2 --chaos-kill-delay-ms=0 \
+    --out=MERGED.json -- --threads=2 --benchmark_list_tests
+
+  # Every attempt, killed or not, must merge bit-identical.
+  python3 "$CHECK" FULL.json --merged MERGED.json
+
+  if python3 -c '
+import json, sys
+orch = json.load(open("MERGED.json"))["orchestration"]
+sys.exit(0 if orch["leases_failed"] >= 1 and orch["leases_resharded"] >= 1
+         else 1)
+'; then
+    echo "elastic_chaos_test: kill landed on attempt $attempt;" \
+         "lease resharded and merge stayed bit-identical"
+    exit 0
+  fi
+
+  if [ "$attempt" -ge 10 ]; then
+    echo "elastic_chaos_test: chaos kill never landed in $attempt runs" >&2
+    exit 1
+  fi
+  attempt=$((attempt + 1))
+done

@@ -1,0 +1,99 @@
+// runtime::Transport: the orchestration subsystem's launch seam.
+// LocalExecTransport must behave exactly like runtime::Subprocess
+// (plus env plumbing); ChaosKillTransport must murder exactly the
+// launch it was told to and pass everything else through — the fault
+// injection the lease-protocol chaos tests build on.
+#include "src/runtime/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+namespace setlib::runtime {
+namespace {
+
+TEST(LocalExecTransportTest, RunsArgvAndCapturesOutput) {
+  LocalExecTransport transport;
+  TransportCommand command;
+  command.argv = {"/bin/sh", "-c", "echo out; echo err >&2; exit 4"};
+  const SubprocessResult result = transport.run(command);
+  EXPECT_TRUE(result.started);
+  EXPECT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, 4);
+  EXPECT_EQ(result.out, "out\n");
+  EXPECT_EQ(result.err, "err\n");
+  EXPECT_EQ(transport.describe(), "local");
+}
+
+TEST(LocalExecTransportTest, ExtraEnvEntriesReachTheWorker) {
+  LocalExecTransport transport;
+  TransportCommand command;
+  command.argv = {"/bin/sh", "-c", "echo \"lease=$SETLIB_LEASE\""};
+  command.env = {"SETLIB_LEASE=42"};
+  const SubprocessResult result = transport.run(command);
+  ASSERT_TRUE(result.ok()) << result.describe();
+  EXPECT_EQ(result.out, "lease=42\n");
+  // The inherited environment still travels alongside the extras.
+  TransportCommand inherit;
+  inherit.argv = {"/bin/sh", "-c", "test -n \"$PATH\""};
+  inherit.env = {"SETLIB_LEASE=42"};
+  EXPECT_TRUE(transport.run(inherit).ok());
+}
+
+TEST(LocalExecTransportTest, TimeoutKillsTheWorker) {
+  LocalExecTransport transport;
+  TransportCommand command;
+  command.argv = {"/bin/sh", "-c", "sleep 60"};
+  command.timeout = std::chrono::milliseconds(200);
+  const auto start = std::chrono::steady_clock::now();
+  const SubprocessResult result = transport.run(command);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_FALSE(result.ok());
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+}
+
+TEST(ChaosKillTransportTest, KillsExactlyTheNthLaunch) {
+  LocalExecTransport local;
+  ChaosKillTransport chaos(local, 2, std::chrono::milliseconds(0));
+  TransportCommand command;
+  // Long enough that the delay-0 kill always lands first.
+  command.argv = {"/bin/sh", "-c", "sleep 2; echo survived"};
+  command.timeout = std::chrono::seconds(30);
+
+  TransportCommand quick;
+  quick.argv = {"/bin/sh", "-c", "echo ok"};
+
+  // Launch 1 passes through untouched.
+  EXPECT_TRUE(chaos.run(quick).ok());
+  EXPECT_EQ(chaos.kills(), 0);
+  // Launch 2 is sabotaged: the worker dies by SIGKILL, surfaced as
+  // the killer shell's exit 137 (128 + 9).
+  const SubprocessResult killed = chaos.run(command);
+  EXPECT_EQ(chaos.kills(), 1);
+  EXPECT_FALSE(killed.ok());
+  EXPECT_TRUE(killed.exited);
+  EXPECT_EQ(killed.exit_code, 137);
+  EXPECT_EQ(killed.out.find("survived"), std::string::npos);
+  // Launch 3 passes through again.
+  EXPECT_TRUE(chaos.run(quick).ok());
+  EXPECT_EQ(chaos.kills(), 1);
+  EXPECT_EQ(chaos.describe(), "local+chaos-kill");
+}
+
+TEST(ChaosKillTransportTest, DisabledDecoratorIsTransparent) {
+  LocalExecTransport local;
+  ChaosKillTransport chaos(local, 0, std::chrono::milliseconds(0));
+  TransportCommand command;
+  command.argv = {"/bin/sh", "-c", "echo ok"};
+  for (int i = 0; i < 3; ++i) {
+    const SubprocessResult result = chaos.run(command);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.out, "ok\n");
+  }
+  EXPECT_EQ(chaos.kills(), 0);
+}
+
+}  // namespace
+}  // namespace setlib::runtime

@@ -1,28 +1,44 @@
-// sweep_orchestrator: multi-process shard driver for the bench
-// binaries.
+// sweep_orchestrator: multi-process driver for the bench binaries.
 //
-//   sweep_orchestrator <bench> [--shards=N] [--workers=M]
-//                      [--retries=R] [--timeout=SECONDS] [--out=PATH]
+// Default mode is the elastic work queue: the virtual cell space is
+// carved into many small ranges, M worker loops lease ranges with
+// deadlines and run `--cells=LO..HI --json=<shard-dir>/lease_<id>.json`
+// children through the runtime::Transport seam; a crashed, hung, or
+// straggling worker's lease is split, requeued, and re-leased, and the
+// accepted lease documents merge into one --out document bit-identical
+// (modulo timing keys) to the unsharded `--json` run. The merged
+// document carries the scheduler's accounting under the top-level
+// "orchestration" key (a timing key).
+//
+//   sweep_orchestrator <bench> [--workers=M] [--ranges=R]
+//                      [--lease-timeout=SECONDS] [--straggler-factor=F]
+//                      [--straggler-min-ms=MS] [--failure-budget=B]
+//                      [--backoff-ms=MS] [--backoff-cap-ms=MS]
+//                      [--backoff-seed=S] [--chaos-kill-nth=N]
+//                      [--chaos-kill-delay-ms=MS] [--out=PATH]
 //                      [--shard-dir=DIR] [--keep-shards]
 //                      [-- <args forwarded to every worker>]
 //
-// Launches the N `--shard=K/N --json=<shard-dir>/shard_K.json` child
-// processes (at most M concurrently), retries shards that crash, time
-// out, or write unparsable JSON, and merges the N shard documents
-// into one --out document bit-identical (modulo timing keys) to the
-// unsharded `--json` run. A shard that keeps failing is reported with
-// its captured stderr and the orchestrator exits nonzero — a merge is
-// never silently incomplete.
+// Giving --shards=N selects the legacy static partition instead: the N
+// `--shard=K/N` children with bounded per-shard retries.
+//
+//   sweep_orchestrator <bench> --shards=N [--workers=M] [--retries=R]
+//                      [--timeout=SECONDS] [--out=PATH]
+//                      [--shard-dir=DIR] [--keep-shards] [-- args]
+//
+// The chaos flags wrap the transport in runtime::ChaosKillTransport,
+// SIGKILLing the N-th launched child after a delay — the CI fixture
+// proving that a murdered worker costs nothing but a reshard.
 //
 // The merge alone is exposed as
 //
 //   sweep_orchestrator --merge-only --out=PATH SHARD.json...
 //
-// which is the promoted form of scripts/check_shard_union.py's old
-// row-concatenation logic (the script now just diffs documents).
+// which merges already-written shard or lease documents.
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +46,7 @@
 #include "src/core/orchestrator.h"
 #include "src/core/report.h"
 #include "src/core/sweep_cli.h"
+#include "src/runtime/transport.h"
 #include "src/util/assert.h"
 #include "src/util/json.h"
 
@@ -38,16 +55,26 @@ using namespace setlib;
 namespace {
 
 constexpr const char* kUsage = R"(usage:
-  sweep_orchestrator <bench> [--shards=N] [--workers=M] [--retries=R]
+  sweep_orchestrator <bench> [--workers=M] [--ranges=R]
+                     [--lease-timeout=SECONDS] [--straggler-factor=F]
+                     [--straggler-min-ms=MS] [--failure-budget=B]
+                     [--backoff-ms=MS] [--backoff-cap-ms=MS]
+                     [--backoff-seed=S] [--chaos-kill-nth=N]
+                     [--chaos-kill-delay-ms=MS] [--out=PATH]
+                     [--shard-dir=DIR] [--keep-shards]
+                     [-- <args forwarded to workers>]
+  sweep_orchestrator <bench> --shards=N [--workers=M] [--retries=R]
                      [--timeout=SECONDS] [--out=PATH] [--shard-dir=DIR]
                      [--keep-shards] [-- <args forwarded to workers>]
   sweep_orchestrator --merge-only [--out=PATH] SHARD.json...
 
-Runs the N --shard=K/N --json workers of one bench binary (at most M
-at a time), retries crashed/timed-out shards, and merges the shard
-documents into --out (default MERGED.json) — bit-identical, modulo
-timing keys, to the unsharded --json run. --merge-only skips the
-launching and merges already-written shard documents.
+Default: the elastic work queue — M worker loops lease --cells=LO..HI
+ranges with deadlines; dead, hung, or straggling workers have their
+leases split and re-leased. --shards=N selects the legacy static
+--shard=K/N partition with per-shard retries. Either way the merged
+--out document (default MERGED.json) is bit-identical, modulo timing
+keys, to the unsharded --json run. --merge-only skips the launching
+and merges already-written shard documents.
 )";
 
 int fail_usage(const std::string& message) {
@@ -106,9 +133,15 @@ int merge_only(const std::string& out_path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::OrchestratorOptions options;
+  // Both modes' knobs are parsed up front; --shards= decides which set
+  // applies.
+  core::OrchestratorOptions static_options;
+  core::ElasticOrchestratorOptions elastic_options;
+  static_options.shards = 0;  // 0 = elastic mode (the default)
   std::string out_path = "MERGED.json";
   bool merge_only_mode = false;
+  int chaos_kill_nth = 0;
+  int chaos_kill_delay_ms = 0;
   std::vector<std::string> positional;
 
   try {
@@ -117,7 +150,9 @@ int main(int argc, char** argv) {
       const std::string arg = argv[i];
       if (arg == "--") {
         // Everything after -- goes to the workers verbatim.
-        for (++i; i < argc; ++i) options.bench_args.push_back(argv[i]);
+        for (++i; i < argc; ++i) {
+          static_options.bench_args.push_back(argv[i]);
+        }
         break;
       }
       if (arg == "--merge-only") {
@@ -125,14 +160,21 @@ int main(int argc, char** argv) {
         continue;
       }
       if (arg == "--keep-shards") {
-        options.keep_shards = true;
+        static_options.keep_shards = true;
+        elastic_options.keep_shards = true;
         continue;
       }
-      if (core::consume_int_flag(arg, "--shards=", &options.shards)) continue;
-      if (core::consume_int_flag(arg, "--workers=", &options.workers)) {
+      if (core::consume_int_flag(arg, "--shards=",
+                                 &static_options.shards)) {
         continue;
       }
-      if (core::consume_int_flag(arg, "--retries=", &options.retries)) {
+      if (core::consume_int_flag(arg, "--workers=",
+                                 &static_options.workers)) {
+        elastic_options.workers = static_options.workers;
+        continue;
+      }
+      if (core::consume_int_flag(arg, "--retries=",
+                                 &static_options.retries)) {
         continue;
       }
       int timeout_seconds = 0;
@@ -140,7 +182,91 @@ int main(int argc, char** argv) {
         if (timeout_seconds < 0) {
           return fail_usage("--timeout= must be >= 0");
         }
-        options.timeout = std::chrono::seconds(timeout_seconds);
+        static_options.timeout = std::chrono::seconds(timeout_seconds);
+        continue;
+      }
+      long ranges = 0;
+      if (core::consume_long_flag(arg, "--ranges=", &ranges)) {
+        if (ranges < 0) return fail_usage("--ranges= must be >= 0");
+        elastic_options.ranges = static_cast<std::size_t>(ranges);
+        continue;
+      }
+      int lease_timeout_seconds = 0;
+      if (core::consume_int_flag(arg, "--lease-timeout=",
+                                 &lease_timeout_seconds)) {
+        if (lease_timeout_seconds < 1) {
+          return fail_usage("--lease-timeout= must be >= 1 second");
+        }
+        elastic_options.lease_timeout =
+            std::chrono::seconds(lease_timeout_seconds);
+        continue;
+      }
+      if (core::consume_double_flag(arg, "--straggler-factor=",
+                                    &elastic_options.straggler_factor)) {
+        if (elastic_options.straggler_factor < 0.0) {
+          return fail_usage("--straggler-factor= must be >= 0");
+        }
+        continue;
+      }
+      int straggler_min_ms = 0;
+      if (core::consume_int_flag(arg, "--straggler-min-ms=",
+                                 &straggler_min_ms)) {
+        if (straggler_min_ms < 0) {
+          return fail_usage("--straggler-min-ms= must be >= 0");
+        }
+        elastic_options.straggler_min =
+            std::chrono::milliseconds(straggler_min_ms);
+        continue;
+      }
+      long failure_budget = 0;
+      if (core::consume_long_flag(arg, "--failure-budget=",
+                                  &failure_budget)) {
+        if (failure_budget < 0) {
+          return fail_usage("--failure-budget= must be >= 0");
+        }
+        elastic_options.failure_budget =
+            static_cast<std::size_t>(failure_budget);
+        continue;
+      }
+      int backoff_ms = 0;
+      if (core::consume_int_flag(arg, "--backoff-ms=", &backoff_ms)) {
+        if (backoff_ms < 0) return fail_usage("--backoff-ms= must be >= 0");
+        static_options.backoff.base =
+            std::chrono::milliseconds(backoff_ms);
+        elastic_options.backoff.base = static_options.backoff.base;
+        continue;
+      }
+      int backoff_cap_ms = 0;
+      if (core::consume_int_flag(arg, "--backoff-cap-ms=",
+                                 &backoff_cap_ms)) {
+        if (backoff_cap_ms < 0) {
+          return fail_usage("--backoff-cap-ms= must be >= 0");
+        }
+        static_options.backoff.cap =
+            std::chrono::milliseconds(backoff_cap_ms);
+        elastic_options.backoff.cap = static_options.backoff.cap;
+        continue;
+      }
+      long backoff_seed = 0;
+      if (core::consume_long_flag(arg, "--backoff-seed=",
+                                  &backoff_seed)) {
+        static_options.backoff.seed =
+            static_cast<std::uint64_t>(backoff_seed);
+        elastic_options.backoff.seed = static_options.backoff.seed;
+        continue;
+      }
+      if (core::consume_int_flag(arg, "--chaos-kill-nth=",
+                                 &chaos_kill_nth)) {
+        if (chaos_kill_nth < 1) {
+          return fail_usage("--chaos-kill-nth= must be >= 1");
+        }
+        continue;
+      }
+      if (core::consume_int_flag(arg, "--chaos-kill-delay-ms=",
+                                 &chaos_kill_delay_ms)) {
+        if (chaos_kill_delay_ms < 0) {
+          return fail_usage("--chaos-kill-delay-ms= must be >= 0");
+        }
         continue;
       }
       if (arg.rfind("--out=", 0) == 0) {
@@ -149,10 +275,11 @@ int main(int argc, char** argv) {
         continue;
       }
       if (arg.rfind("--shard-dir=", 0) == 0) {
-        options.shard_dir = arg.substr(12);
-        if (options.shard_dir.empty()) {
+        static_options.shard_dir = arg.substr(12);
+        if (static_options.shard_dir.empty()) {
           return fail_usage("--shard-dir= is empty");
         }
+        elastic_options.shard_dir = static_options.shard_dir;
         continue;
       }
       if (arg.rfind("--", 0) == 0) {
@@ -169,12 +296,59 @@ int main(int argc, char** argv) {
   if (positional.size() != 1) {
     return fail_usage("expected exactly one bench binary");
   }
-  options.bench = positional[0];
-  if (options.shards < 1) return fail_usage("--shards= must be >= 1");
-  if (options.workers < 0) return fail_usage("--workers= must be >= 0");
-  if (options.retries < 0) return fail_usage("--retries= must be >= 0");
+  static_options.bench = positional[0];
+  elastic_options.bench = positional[0];
+  elastic_options.bench_args = static_options.bench_args;
+  if (static_options.shards < 0) {
+    return fail_usage("--shards= must be >= 1");
+  }
+  if (static_options.workers < 0) {
+    return fail_usage("--workers= must be >= 0");
+  }
+  if (static_options.retries < 0) {
+    return fail_usage("--retries= must be >= 0");
+  }
 
-  const core::OrchestrationResult result = core::orchestrate(options);
+  // The chaos transport wraps whichever scheduler runs.
+  runtime::LocalExecTransport local;
+  std::unique_ptr<runtime::ChaosKillTransport> chaos;
+  runtime::Transport* transport = &local;
+  if (chaos_kill_nth >= 1) {
+    chaos = std::make_unique<runtime::ChaosKillTransport>(
+        local, chaos_kill_nth,
+        std::chrono::milliseconds(chaos_kill_delay_ms));
+    transport = chaos.get();
+  }
+
+  if (static_options.shards >= 1) {
+    // Legacy static partition.
+    static_options.transport = transport;
+    const core::OrchestrationResult result =
+        core::orchestrate(static_options);
+    std::cout << result.summary();
+    if (!result.ok()) {
+      std::cerr << "sweep_orchestrator: incomplete run, not writing "
+                << out_path << "\n";
+      return 1;
+    }
+    if (!write_file(out_path, result.merged.dump(1))) {
+      std::cerr << "sweep_orchestrator: cannot write " << out_path
+                << " (shard documents kept in "
+                << static_options.shard_dir << ")\n";
+      return 1;
+    }
+    // Only now are the shard documents redundant.
+    if (!static_options.keep_shards) {
+      core::remove_shard_documents(static_options, result);
+    }
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+  }
+
+  if (elastic_options.workers == 0) elastic_options.workers = 3;
+  elastic_options.transport = transport;
+  const core::ElasticResult result =
+      core::orchestrate_elastic(elastic_options);
   std::cout << result.summary();
   if (!result.ok()) {
     std::cerr << "sweep_orchestrator: incomplete run, not writing "
@@ -183,12 +357,13 @@ int main(int argc, char** argv) {
   }
   if (!write_file(out_path, result.merged.dump(1))) {
     std::cerr << "sweep_orchestrator: cannot write " << out_path
-              << " (shard documents kept in " << options.shard_dir
-              << ")\n";
+              << " (lease documents kept in "
+              << elastic_options.shard_dir << ")\n";
     return 1;
   }
-  // Only now are the shard documents redundant.
-  if (!options.keep_shards) core::remove_shard_documents(options, result);
+  if (!elastic_options.keep_shards) {
+    core::remove_lease_documents(elastic_options, result);
+  }
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }
