@@ -10,15 +10,18 @@
 // Two sections, both shard-aware through the ExperimentRunner:
 //
 //   - family_grid: run_agreement for (2,2,5)-agreement in its matching
-//     system against the friendly baseline plus every randomized
-//     family, `--repeat` seeds per family. The grid section carries
-//     the multi-seed dispersion keys (ci_* 95% intervals) in
+//     system against the friendly baseline, every randomized family,
+//     and every reactive adversary (src/sched/reactive.h), `--repeat`
+//     seeds per family. The grid section carries the multi-seed
+//     dispersion keys (ci_* 95% intervals) in
 //     BENCH_adversary_frontier.json.
 //
-//   - frontier_map: for every registry family and every 1 <= i <= j
-//     <= n, generate a seeded schedule and find the best achievable
-//     (|P| = i, |Q| = j) bound with the packed RankedPairScan; a cell
-//     is a member when the bound stays within the cap. Every cell
+//   - frontier_map: for every registry family plus every reactive
+//     adversary (driven closed-loop via generate_observed) and every
+//     1 <= i <= j <= n, generate a seeded schedule and find the best
+//     achievable (|P| = i, |Q| = j) bound with the packed
+//     RankedPairScan; a cell is a member when the bound stays within
+//     the cap. Every cell
 //     also re-checks its best pair against
 //     min_timeliness_bound_reference, so the packed analyzer is
 //     differentially pinned on every family's schedules; mismatches
@@ -38,6 +41,7 @@
 #include "src/core/sweep_cli.h"
 #include "src/sched/analyzer.h"
 #include "src/sched/families.h"
+#include "src/sched/reactive.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
@@ -53,6 +57,9 @@ void print_family_grid(core::ExperimentRunner& runner,
   grid.add_spec({2, 2, 5})
       .add_family(core::ScheduleFamily::kEnforcedRandom);
   for (const auto family : core::randomized_families()) {
+    grid.add_family(family);
+  }
+  for (const auto family : core::reactive_families()) {
     grid.add_family(family);
   }
   grid.add_bound(3)
@@ -80,7 +87,7 @@ void print_family_grid(core::ExperimentRunner& runner,
 }
 
 struct FrontierCell {
-  std::size_t family = 0;  // index into sched::schedule_families()
+  std::size_t family = 0;  // index into the combined adversary list
   int i = 0;
   int j = 0;
   std::int64_t best_bound = 0;
@@ -102,13 +109,20 @@ std::string family_key(const std::string& name) {
 
 void print_frontier_map(core::ExperimentRunner& runner,
                         core::JsonSink& json) {
+  // Combined adversary axis: the oblivious registry first, then the
+  // reactive adversaries (reactive.h) driven in pure-generation mode
+  // through generate_observed — the frontier quantifies over both.
   const auto& families = sched::schedule_families();
-  // Flat cell space: family-major, then (i, j) in row-major order.
+  const auto& reactives = sched::reactive_adversaries();
+  std::vector<std::string> names;
+  for (const auto& info : families) names.emplace_back(info.name);
+  for (const auto& info : reactives) names.emplace_back(info.name);
+  // Flat cell space: adversary-major, then (i, j) in row-major order.
   std::vector<std::pair<int, int>> pairs;
   for (int i = 1; i <= kFrontierN; ++i) {
     for (int j = i; j <= kFrontierN; ++j) pairs.emplace_back(i, j);
   }
-  const std::size_t count = families.size() * pairs.size();
+  const std::size_t count = names.size() * pairs.size();
 
   core::WallTimer timer;
   const auto cells = runner.map<FrontierCell>(count, [&](std::size_t idx) {
@@ -116,17 +130,32 @@ void print_frontier_map(core::ExperimentRunner& runner,
     cell.family = idx / pairs.size();
     cell.i = pairs[idx % pairs.size()].first;
     cell.j = pairs[idx % pairs.size()].second;
-    sched::FamilyParams params;
-    params.n = kFrontierN;
-    params.scale = 64;
-    params.crash_count = 2;
-    params.crash_horizon = kFrontierLen / 2;
-    params.gst = kFrontierLen / 4;
     const std::uint64_t seed =
         core::derive_cell_seed(kFrontierSeed, idx);
-    auto gen =
-        sched::make_family(families[cell.family].kind, params, seed);
-    const sched::Schedule s = sched::generate(*gen, kFrontierLen);
+    sched::Schedule s(kFrontierN);
+    if (cell.family < families.size()) {
+      sched::FamilyParams params;
+      params.n = kFrontierN;
+      params.scale = 64;
+      params.crash_count = 2;
+      params.crash_horizon = kFrontierLen / 2;
+      params.gst = kFrontierLen / 4;
+      auto gen =
+          sched::make_family(families[cell.family].kind, params, seed);
+      s = sched::generate(*gen, kFrontierLen);
+    } else {
+      sched::ReactiveParams params;
+      params.n = kFrontierN;
+      params.stretch = 64;
+      params.crash_budget = 2;
+      // Aim the silencing at the cell: to starve an |P| = i set, at
+      // least n - i + 1 victims guarantee some P member stays silent.
+      params.victims =
+          std::clamp(kFrontierN - cell.i + 1, 1, kFrontierN - 1);
+      auto gen = sched::make_reactive(
+          reactives[cell.family - families.size()].kind, params, seed);
+      s = sched::generate_observed(*gen, kFrontierLen);
+    }
     const sched::PackedSchedule packed(s);
     const sched::TimelyPair best =
         sched::RankedPairScan(packed, cell.i, cell.j).best_pair();
@@ -144,7 +173,7 @@ void print_frontier_map(core::ExperimentRunner& runner,
   std::string member_header = "member (cap ";
   member_header.append(std::to_string(kBoundCap)).append(")");
   TextTable table({"family", "(i,j)", "best bound", member_header});
-  std::vector<double> members(families.size(), 0.0);
+  std::vector<double> members(names.size(), 0.0);
   double mismatches = 0.0;
   for (std::size_t c = 0; c < cells.size(); ++c) {
     const FrontierCell& cell = cells[c];
@@ -154,7 +183,7 @@ void print_frontier_map(core::ExperimentRunner& runner,
         .append(std::to_string(cell.j))
         .append(")");
     table.row()
-        .cell(families[cell.family].name)
+        .cell(names[cell.family])
         .cell(pair_label)
         .cell(cell.best_bound)
         .cell(cell.member ? "yes" : "no");
@@ -169,8 +198,8 @@ void print_frontier_map(core::ExperimentRunner& runner,
             << "\n\n";
 
   json.section("frontier_map", cells.size(), wall);
-  for (std::size_t f = 0; f < families.size(); ++f) {
-    json.annotate("members_" + family_key(families[f].name), members[f]);
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    json.annotate("members_" + family_key(names[f]), members[f]);
   }
   json.annotate("reference_mismatches", mismatches);
 }
@@ -190,6 +219,22 @@ void BM_FamilyGenerate(benchmark::State& state) {
   state.SetLabel(info.name);
 }
 BENCHMARK(BM_FamilyGenerate)->DenseRange(0, 5);
+
+void BM_ReactiveGenerate(benchmark::State& state) {
+  const auto& reactives = sched::reactive_adversaries();
+  const sched::ReactiveInfo& info =
+      reactives[static_cast<std::size_t>(state.range(0))];
+  sched::ReactiveParams params;
+  params.n = 16;
+  params.crash_budget = 4;
+  for (auto _ : state) {
+    auto gen = sched::make_reactive(info.kind, params, 42);
+    benchmark::DoNotOptimize(sched::generate_observed(*gen, 1 << 14));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 14));
+  state.SetLabel(info.name);
+}
+BENCHMARK(BM_ReactiveGenerate)->DenseRange(0, 2);
 
 void BM_FrontierCellScan(benchmark::State& state) {
   sched::FamilyParams params;

@@ -19,6 +19,9 @@ Three checks, all fatal on failure:
   5. Every runtime header (src/runtime/*.h) is mentioned by stem in
      docs/ARCHITECTURE.md — same rule for the runtime layer (the
      orchestration transport seam lives there).
+  6. Every sched header (src/sched/*.h) is mentioned by stem in
+     docs/ARCHITECTURE.md — same rule for the model layer (the
+     observation feed and the reactive adversaries live there).
 """
 import pathlib
 import re
@@ -88,7 +91,8 @@ def main():
     root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else default_root
     failures = (check_links(root) + check_benches(root) +
                 check_headers(root, "core") +
-                check_headers(root, "runtime"))
+                check_headers(root, "runtime") +
+                check_headers(root, "sched"))
     for failure in failures:
         print(f"FAIL {failure}")
     if failures:

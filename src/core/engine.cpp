@@ -12,6 +12,7 @@
 #include "src/sched/analyzer.h"
 #include "src/sched/enforcer.h"
 #include "src/sched/families.h"
+#include "src/sched/reactive.h"
 #include "src/shm/memory.h"
 #include "src/shm/simulator.h"
 #include "src/util/assert.h"
@@ -25,6 +26,11 @@ struct FamilySetup {
   sched::CrashPlan plan;
   ProcSet timely_set;
   ProcSet observed_set;
+  // Reactive families only: the feed the simulator publishes into and
+  // the generator (owned by `generator`) whose crash decisions the
+  // simulator mirrors.
+  std::shared_ptr<sched::ObservationFeed> feed;
+  sched::ReactiveGenerator* reactive = nullptr;
 
   explicit FamilySetup(int n) : plan(n) {}
 };
@@ -137,6 +143,43 @@ FamilySetup make_randomized(const RunConfig& cfg) {
   return setup;
 }
 
+FamilySetup make_reactive_setup(const RunConfig& cfg) {
+  const int n = cfg.spec.n;
+  FamilySetup setup(n);
+  // Same canonical witness pair as the randomized families: reactive
+  // adversaries promise nothing about S^i_{j,n} membership, the
+  // measured witness_bound is the observable.
+  setup.timely_set = ProcSet::range(0, cfg.system.i);
+  setup.observed_set = ProcSet::range(0, cfg.system.j);
+  sched::ReactiveParams params;
+  params.n = n;
+  params.stretch = cfg.adversary_scale;
+  params.victims = 0;  // auto per kind
+  // The budget-crasher may spend exactly the spec's resilience budget,
+  // so the validator's termination clause still quantifies over a
+  // legal faulty set.
+  params.crash_budget = std::min(cfg.spec.t, n - 1);
+  params.decide_threshold = cfg.stabilization_window;
+  const sched::ReactiveKind kind = [&] {
+    switch (cfg.family) {
+      case ScheduleFamily::kWindowStretcher:
+        return sched::ReactiveKind::kWindowStretcher;
+      case ScheduleFamily::kDecisionChaser:
+        return sched::ReactiveKind::kDecisionChaser;
+      case ScheduleFamily::kBudgetCrasher:
+        return sched::ReactiveKind::kBudgetCrasher;
+      default:
+        SETLIB_ASSERT(false);
+        return sched::ReactiveKind::kWindowStretcher;
+    }
+  }();
+  auto gen = sched::make_reactive(kind, params, cfg.seed);
+  setup.reactive = gen.get();
+  setup.feed = gen->feed_ptr();
+  setup.generator = std::move(gen);
+  return setup;
+}
+
 }  // namespace
 
 RunReport run_agreement(const RunConfig& cfg) {
@@ -167,6 +210,10 @@ RunReport run_agreement(const RunConfig& cfg) {
       case ScheduleFamily::kCrashProne:
       case ScheduleFamily::kGst:
         return make_randomized(cfg);
+      case ScheduleFamily::kWindowStretcher:
+      case ScheduleFamily::kDecisionChaser:
+      case ScheduleFamily::kBudgetCrasher:
+        return make_reactive_setup(cfg);
     }
     SETLIB_ASSERT(false);
     return make_friendly(cfg);
@@ -175,6 +222,14 @@ RunReport run_agreement(const RunConfig& cfg) {
   shm::SimMemory mem;
   shm::Simulator sim(mem, n);
   sim.use_crash_plan(setup.plan);
+  if (setup.feed != nullptr) sim.publish_observations(setup.feed.get());
+  if (setup.reactive != nullptr) {
+    // Mirror the adversary's budget spending into the simulator so the
+    // crashed processes actually stop and the validator's faulty set
+    // matches crashes_requested().
+    sim.use_crash_source(
+        [r = setup.reactive] { return r->crashes_requested(); });
+  }
 
   RunReport report;
   report.timely_set = setup.timely_set;
@@ -196,6 +251,13 @@ RunReport run_agreement(const RunConfig& cfg) {
           "trivial");
     }
     auto all_correct_decided = [&] {
+      if (setup.feed != nullptr) {
+        for (Pid p = 0; p < n; ++p) {
+          if (outs[static_cast<std::size_t>(p)].decided) {
+            setup.feed->publish_decided(p);
+          }
+        }
+      }
       if (cfg.run_full_budget) return false;
       const ProcSet correct = sim.crashed_set().complement(n);
       for (Pid p : correct.to_vector()) {
@@ -223,6 +285,16 @@ RunReport run_agreement(const RunConfig& cfg) {
                    proposals[static_cast<std::size_t>(p)]);
     }
     auto all_correct_decided = [&] {
+      if (setup.feed != nullptr) {
+        // Decision proximity for reactive adversaries: detector
+        // iterations plus decided flags, straight from deterministic
+        // protocol state (published every stop-check, i.e. every 64
+        // executed steps).
+        for (Pid p = 0; p < n; ++p) {
+          setup.feed->publish_progress(p, detector.view(p).iterations);
+          if (kset.decided(p)) setup.feed->publish_decided(p);
+        }
+      }
       if (cfg.run_full_budget) return false;
       return kset.all_decided(sim.crashed_set().complement(n));
     };
@@ -264,8 +336,11 @@ RunReport run_agreement(const RunConfig& cfg) {
   }
 
   report.faulty = sim.crashed_set();
-  SETLIB_ASSERT(report.faulty == planned_correct.complement(n) ||
-                report.faulty.subset_of(planned_correct.complement(n)));
+  const ProcSet allowed_faulty =
+      planned_correct.complement(n) |
+      (setup.reactive != nullptr ? setup.reactive->crashes_requested()
+                                 : ProcSet());
+  SETLIB_ASSERT(report.faulty.subset_of(allowed_faulty));
 
   const auto verdict = agreement::validate_agreement(
       t, k, n, proposals, report.decisions, report.faulty);
@@ -277,6 +352,7 @@ RunReport run_agreement(const RunConfig& cfg) {
 
   report.witness_bound = sched::min_timeliness_bound(
       sim.executed(), setup.timely_set, setup.observed_set);
+  report.schedule_hash = sched::schedule_hash(sim.executed());
 
   std::ostringstream os;
   os << verdict.detail << " steps=" << report.steps_executed

@@ -50,6 +50,14 @@ enum class ScheduleFamily {
   kStarvation,  // seeded victim silenced for geometric stretches
   kCrashProne,  // tail processes permanently silenced at seeded steps
   kGst,         // chaotic seeded prefix, then round-robin
+  // Execution-reactive adversaries (src/sched/reactive.h): the
+  // simulator publishes an ObservationFeed each step and the generator
+  // reacts to it. Same canonical witness pair as the randomized
+  // families; reactions are a pure function of (observations, seed),
+  // so runs stay bit-identical across threads and shards.
+  kWindowStretcher,  // feed-scaled silencing epochs, growing stretches
+  kDecisionChaser,   // silences whoever is nearest to deciding
+  kBudgetCrasher,    // spends the t crash budget at observed worst moments
 };
 
 struct RunConfig {
@@ -115,6 +123,11 @@ struct RunReport {
   ProcSet timely_set;
   ProcSet observed_set;
   std::int64_t witness_bound = 0;
+
+  /// Replay hash of the executed schedule (sched::schedule_hash):
+  /// pins the exact execution across reruns, thread counts, and shard
+  /// merges. Rendered as a 16-hex-digit string in JSON rows.
+  std::uint64_t schedule_hash = 0;
 
   DetectorReport detector;
   std::string detail;

@@ -7,6 +7,7 @@
 #include <limits>
 #include <sstream>
 
+#include "src/sched/schedule.h"
 #include "src/util/assert.h"
 #include "src/util/table.h"
 
@@ -174,6 +175,7 @@ void JsonSink::cell(const SweepCell& cell, const RunReport& report,
   row.distinct_decisions = report.distinct_decisions;
   row.steps = report.steps_executed;
   row.witness_bound = report.witness_bound;
+  row.schedule_hash = report.schedule_hash;
   pending_.rows.push_back(row);
 }
 
@@ -327,7 +329,9 @@ std::string JsonSink::render() const {
            << ", \"detector_ok\": " << (row.detector_ok ? 1 : 0)
            << ", \"distinct\": " << row.distinct_decisions
            << ", \"steps\": " << row.steps
-           << ", \"witness_bound\": " << row.witness_bound << "}";
+           << ", \"witness_bound\": " << row.witness_bound
+           << ", \"schedule_hash\": "
+           << json_quote(sched::hash_hex(row.schedule_hash)) << "}";
       }
       os << "]";
     }

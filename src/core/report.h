@@ -242,6 +242,12 @@ class JsonSink : public ReportSink {
     int distinct_decisions = 0;
     std::int64_t steps = 0;
     std::int64_t witness_bound = 0;
+    // Replay hash of the executed schedule, rendered as a 16-hex-digit
+    // string (JSON numbers are doubles and would corrupt it). Not a
+    // timing key: rows concatenate verbatim in shard merges, so the
+    // hash is pinned kSame-by-construction across merges and thread
+    // counts.
+    std::uint64_t schedule_hash = 0;
   };
   struct Section {
     std::string name;

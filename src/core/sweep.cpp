@@ -34,6 +34,12 @@ const char* family_name(ScheduleFamily family) noexcept {
       return "crash-prone";
     case ScheduleFamily::kGst:
       return "gst";
+    case ScheduleFamily::kWindowStretcher:
+      return "window-stretcher";
+    case ScheduleFamily::kDecisionChaser:
+      return "decision-chaser";
+    case ScheduleFamily::kBudgetCrasher:
+      return "budget-crasher";
   }
   return "unknown";
 }
@@ -44,6 +50,15 @@ const std::vector<ScheduleFamily>& randomized_families() {
       ScheduleFamily::kStarvation,
       ScheduleFamily::kCrashProne,
       ScheduleFamily::kGst,
+  };
+  return families;
+}
+
+const std::vector<ScheduleFamily>& reactive_families() {
+  static const std::vector<ScheduleFamily> families = {
+      ScheduleFamily::kWindowStretcher,
+      ScheduleFamily::kDecisionChaser,
+      ScheduleFamily::kBudgetCrasher,
   };
   return families;
 }

@@ -40,6 +40,10 @@ const char* family_name(ScheduleFamily family) noexcept;
 /// the family axis.
 const std::vector<ScheduleFamily>& randomized_families();
 
+/// The execution-reactive adversaries (src/sched/reactive.h) as grid
+/// axis values, in registry order.
+const std::vector<ScheduleFamily>& reactive_families();
+
 /// How the grid derives the system S^i_{j,n} for each spec.
 enum class SystemAxis {
   /// Theorem 24's matching system S^k_{t+1,n} — one system per spec.

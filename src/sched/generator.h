@@ -4,8 +4,10 @@
 // pid of the next step. Deterministic generators (round-robin, Figure 1)
 // reproduce the paper's constructions exactly; stochastic ones are
 // seeded. The Simulator pulls from a generator one step at a time, so
-// adversaries could in principle react to execution state; the ones in
-// generators.h are oblivious, which is all the paper needs.
+// adversaries can react to execution state: the generators in
+// generators.h and families.h are oblivious (pure functions of params
+// and seed), while the ReactiveGenerators in reactive.h consume the
+// ObservationFeed (observations.h) the executor publishes each step.
 #ifndef SETLIB_SCHED_GENERATOR_H
 #define SETLIB_SCHED_GENERATOR_H
 

@@ -1,0 +1,95 @@
+#include "src/sched/observations.h"
+
+#include "src/util/assert.h"
+
+namespace setlib::sched {
+
+ObservationFeed::ObservationFeed(int n)
+    : n_(n),
+      steps_(static_cast<std::size_t>(n), 0),
+      last_(static_cast<std::size_t>(n), -1),
+      progress_(static_cast<std::size_t>(n), -1) {
+  SETLIB_EXPECTS(n >= 1 && n <= kMaxProcs);
+}
+
+std::int64_t ObservationFeed::steps_of(Pid p) const {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  return steps_[static_cast<std::size_t>(p)];
+}
+
+std::int64_t ObservationFeed::last_step_of(Pid p) const {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  return last_[static_cast<std::size_t>(p)];
+}
+
+std::int64_t ObservationFeed::silence_of(Pid p) const {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  const std::int64_t last = last_[static_cast<std::size_t>(p)];
+  return last < 0 ? total_ : total_ - 1 - last;
+}
+
+std::int64_t ObservationFeed::window_age(ProcSet s) const {
+  std::int64_t age = total_;
+  (s & ProcSet::universe(n_)).for_each([&](Pid p) {
+    const std::int64_t silent = silence_of(p);
+    if (silent < age) age = silent;
+  });
+  return age;
+}
+
+std::int64_t ObservationFeed::max_silence() const {
+  std::int64_t worst = 0;
+  for (Pid p = 0; p < n_; ++p) {
+    const std::int64_t silent = silence_of(p);
+    if (silent > worst) worst = silent;
+  }
+  return worst;
+}
+
+bool ObservationFeed::decided(Pid p) const {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  return decided_.contains(p);
+}
+
+std::int64_t ObservationFeed::progress_of(Pid p) const {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  const std::int64_t published = progress_[static_cast<std::size_t>(p)];
+  return published >= 0 ? published : steps_of(p);
+}
+
+bool ObservationFeed::has_progress(Pid p) const {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  return progress_[static_cast<std::size_t>(p)] >= 0;
+}
+
+void ObservationFeed::record_step(Pid p) {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  last_[static_cast<std::size_t>(p)] = total_;
+  ++steps_[static_cast<std::size_t>(p)];
+  ++total_;
+}
+
+void ObservationFeed::record_crash(Pid p) {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  crashed_ = crashed_.with(p);
+}
+
+void ObservationFeed::publish_progress(Pid p, std::int64_t progress) {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  SETLIB_EXPECTS(progress >= 0);
+  progress_[static_cast<std::size_t>(p)] = progress;
+}
+
+void ObservationFeed::publish_decided(Pid p) {
+  SETLIB_EXPECTS(p >= 0 && p < n_);
+  decided_ = decided_.with(p);
+}
+
+void ObservationFeed::publish_constraint_state(std::int64_t substitutions,
+                                               std::int64_t drops) {
+  SETLIB_EXPECTS(substitutions >= 0 && drops >= 0);
+  subs_ = substitutions;
+  drops_ = drops;
+}
+
+}  // namespace setlib::sched

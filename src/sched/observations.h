@@ -1,0 +1,109 @@
+// ObservationFeed: the execution state an adaptive adversary may see.
+//
+// The paper quantifies Definition 1 over *every* schedule the model
+// permits, so the strongest adversaries are not oblivious: they watch
+// the run and react. This header is the narrow, read-only window the
+// Simulator and engine publish into each step — per-process step
+// counts, window ages for candidate P-sets, crash/decision status,
+// decision proximity, and pacer (enforcer) constraint state — and that
+// ReactiveGenerators (reactive.h) consume.
+//
+// Determinism contract: everything published here is derived from the
+// executed step stream and the engine's deterministic protocol state,
+// never from wall-clock time or thread interleaving. A reactive
+// adversary's choices are therefore a pure function of (observations,
+// seed), and identical runs replay bit-identically at any thread count.
+#ifndef SETLIB_SCHED_OBSERVATIONS_H
+#define SETLIB_SCHED_OBSERVATIONS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/procset.h"
+
+namespace setlib::sched {
+
+class ObservationFeed {
+ public:
+  explicit ObservationFeed(int n);
+
+  int n() const noexcept { return n_; }
+
+  // --- Step facts (published by the executor per executed step) ---
+
+  /// Total executed steps observed so far.
+  std::int64_t total_steps() const noexcept { return total_; }
+
+  /// Executed steps by p so far.
+  std::int64_t steps_of(Pid p) const;
+
+  /// Index (0-based, in the executed stream) of p's last step; -1 if p
+  /// has not stepped yet.
+  std::int64_t last_step_of(Pid p) const;
+
+  /// Steps executed since p last stepped (total_steps() if never).
+  std::int64_t silence_of(Pid p) const;
+
+  /// Age of the current s-free window: steps executed since any member
+  /// of s stepped. This is the quantity Definition 1 bounds — an
+  /// adversary stretching it for every candidate P-set is pushing the
+  /// timeliness bound up. Empty sets age forever (total_steps()).
+  std::int64_t window_age(ProcSet s) const;
+
+  /// Largest single-process silence right now (the oldest {p}-free
+  /// window). Upper-bounds window_age over every non-empty set.
+  std::int64_t max_silence() const;
+
+  /// Processes the executor has crashed (or the adversary has spent
+  /// crash budget on).
+  ProcSet crashed() const noexcept { return crashed_; }
+
+  // --- Decision facts (published by the engine) ---
+
+  /// True if the engine reported p decided.
+  bool decided(Pid p) const;
+  ProcSet decided_set() const noexcept { return decided_; }
+
+  /// Decision proximity for p. When the engine publishes protocol
+  /// progress (detector iterations), that value is returned; otherwise
+  /// steps_of(p) serves as a proxy so pure-generation runs (fuzzer,
+  /// frontier map) still rank processes by how far along they are.
+  std::int64_t progress_of(Pid p) const;
+
+  /// True once publish_progress has been called for p (distinguishes
+  /// engine-published progress from the steps_of proxy).
+  bool has_progress(Pid p) const;
+
+  // --- Pacer constraint facts (published by the enforcer) ---
+
+  /// Substitutions the schedule pacer (EnforcedGenerator) performed to
+  /// keep the run inside its system spec, and constraints it dropped as
+  /// unsatisfiable. Zero unless an enforcer publishes into this feed.
+  std::int64_t constraint_substitutions() const noexcept { return subs_; }
+  std::int64_t constraint_drops() const noexcept { return drops_; }
+
+  // --- Publishers (executor / engine side) ---
+
+  void record_step(Pid p);
+  /// Idempotent: re-crashing a crashed process is a no-op.
+  void record_crash(Pid p);
+  void publish_progress(Pid p, std::int64_t progress);
+  void publish_decided(Pid p);
+  void publish_constraint_state(std::int64_t substitutions,
+                                std::int64_t drops);
+
+ private:
+  int n_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> steps_;
+  std::vector<std::int64_t> last_;
+  std::vector<std::int64_t> progress_;  // -1 = not published
+  ProcSet crashed_;
+  ProcSet decided_;
+  std::int64_t subs_ = 0;
+  std::int64_t drops_ = 0;
+};
+
+}  // namespace setlib::sched
+
+#endif  // SETLIB_SCHED_OBSERVATIONS_H

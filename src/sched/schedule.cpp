@@ -1,6 +1,7 @@
 #include "src/sched/schedule.h"
 
 #include "src/util/assert.h"
+#include "src/util/rng.h"
 
 namespace setlib::sched {
 
@@ -63,6 +64,32 @@ Schedule Schedule::slice(std::int64_t from, std::int64_t to) const {
   SETLIB_EXPECTS(0 <= from && from <= to && to <= size());
   return Schedule(n_,
                   std::vector<Pid>(steps_.begin() + from, steps_.begin() + to));
+}
+
+std::uint64_t schedule_hash(const Schedule& s) noexcept {
+  // Chain the stream through splitmix64's mixer. Folding in n and the
+  // length first keeps e.g. (n=2, "010") distinct from (n=3, "010").
+  std::uint64_t state = 0x5e741a11u;  // arbitrary fixed chain seed
+  state += static_cast<std::uint64_t>(s.n());
+  (void)splitmix64(state);
+  state += static_cast<std::uint64_t>(s.size());
+  (void)splitmix64(state);
+  for (Pid p : s.steps()) {
+    state += static_cast<std::uint64_t>(p) + 1;
+    (void)splitmix64(state);
+  }
+  std::uint64_t tail = state;
+  return splitmix64(tail);
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
 }
 
 }  // namespace setlib::sched

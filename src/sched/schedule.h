@@ -8,6 +8,7 @@
 #define SETLIB_SCHED_SCHEDULE_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/util/procset.h"
@@ -57,6 +58,17 @@ class Schedule {
   int n_;
   std::vector<Pid> steps_;
 };
+
+/// Replay hash: a splitmix64 chain over (n, length, step stream). Two
+/// schedules collide only if the hash does; equal hashes over the same
+/// generator version mean bit-identical executions, which is what the
+/// fuzzer corpus and the merged bench rows pin across reruns and shards.
+std::uint64_t schedule_hash(const Schedule& s) noexcept;
+
+/// Canonical 16-hex-digit rendering of a schedule hash. JSON numbers are
+/// doubles, which lose 64-bit integers past 2^53, so hashes always travel
+/// as strings.
+std::string hash_hex(std::uint64_t hash);
 
 }  // namespace setlib::sched
 

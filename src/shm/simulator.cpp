@@ -21,6 +21,7 @@ ProcessRuntime& Simulator::process(Pid p) {
 void Simulator::crash(Pid p) {
   SETLIB_EXPECTS(p >= 0 && p < n_);
   crashed_ = crashed_.with(p);
+  if (feed_ != nullptr) feed_->record_crash(p);
 }
 
 bool Simulator::crashed(Pid p) const {
@@ -33,6 +34,21 @@ void Simulator::use_crash_plan(const sched::CrashPlan& plan) {
   for (Pid p = 0; p < n_; ++p) {
     plan_crash_steps_[static_cast<std::size_t>(p)] = plan.crash_step(p);
   }
+}
+
+void Simulator::use_crash_source(std::function<ProcSet()> source) {
+  crash_source_ = std::move(source);
+}
+
+void Simulator::publish_observations(sched::ObservationFeed* feed) {
+  SETLIB_EXPECTS(feed == nullptr || feed->n() == n_);
+  feed_ = feed;
+}
+
+void Simulator::maybe_crash_per_source() {
+  if (!crash_source_) return;
+  const ProcSet requested = crash_source_() - crashed_;
+  requested.for_each([this](Pid p) { crash(p); });
 }
 
 bool Simulator::maybe_crash_per_plan() {
@@ -53,6 +69,7 @@ bool Simulator::execute(Pid p) {
   if (crashed_.contains(p)) return false;
   procs_[static_cast<std::size_t>(p)].step(mem_);
   executed_.append(p);
+  if (feed_ != nullptr) feed_->record_step(p);
   return true;
 }
 
@@ -81,6 +98,7 @@ std::int64_t Simulator::run_until(sched::ScheduleGenerator& gen,
   const std::int64_t max_pulls = 16 * max_steps + 1024;
   while (executed < max_steps && pulls < max_pulls) {
     maybe_crash_per_plan();
+    maybe_crash_per_source();
     if (crashed_.size() == n_) break;
     const Pid p = gen.next();
     ++pulls;

@@ -15,6 +15,7 @@
 
 #include "src/sched/generator.h"
 #include "src/sched/generators.h"
+#include "src/sched/observations.h"
 #include "src/sched/schedule.h"
 #include "src/shm/memory.h"
 #include "src/shm/process.h"
@@ -38,6 +39,20 @@ class Simulator {
   /// reaches their crash step (checked as the run proceeds).
   void use_crash_plan(const sched::CrashPlan& plan);
 
+  /// Mirror an adversary's crash decisions (ReactiveGenerator::
+  /// crashes_requested): the source is polled once per pull, and any
+  /// newly requested process is crashed before the next step executes,
+  /// so the validator's faulty accounting matches the adversary's
+  /// budget spending.
+  void use_crash_source(std::function<ProcSet()> source);
+
+  /// Publish every executed step (and every crash) into `feed`, the
+  /// read-only view reactive adversaries consume. The feed must
+  /// outlive the simulator; pass nullptr to detach. Publication is
+  /// part of the deterministic step loop — no wall-clock, no thread
+  /// state — so the ObservationFeed determinism contract holds.
+  void publish_observations(sched::ObservationFeed* feed);
+
   /// Execute exactly one step of process p (test hook).
   void step_once(Pid p);
 
@@ -58,6 +73,7 @@ class Simulator {
 
  private:
   bool maybe_crash_per_plan();
+  void maybe_crash_per_source();
   bool execute(Pid p);
 
   IMemory& mem_;
@@ -66,6 +82,8 @@ class Simulator {
   ProcSet crashed_;
   sched::Schedule executed_;
   std::vector<std::int64_t> plan_crash_steps_;
+  std::function<ProcSet()> crash_source_;
+  sched::ObservationFeed* feed_ = nullptr;
 };
 
 }  // namespace setlib::shm

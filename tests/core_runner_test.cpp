@@ -15,6 +15,7 @@
 #include "src/core/sweep.h"
 #include "src/runtime/executor.h"
 #include "src/util/assert.h"
+#include "src/util/json.h"
 
 namespace setlib::core {
 namespace {
@@ -140,6 +141,62 @@ TEST(RunnerShardTest, RandomizedFamiliesBitIdenticalAcrossThreadsAndShards) {
     EXPECT_EQ(union_reports[i].witness_bound,
               one.reports()[i].witness_bound);
     EXPECT_EQ(union_reports[i].faulty, one.reports()[i].faulty) << i;
+  }
+}
+
+TEST(RunnerShardTest, ReactiveFamiliesBitIdenticalAcrossThreadsAndShards) {
+  // The execution-reactive adversaries (sched/reactive.h) close a
+  // feedback loop through the Simulator, but their reactions are a
+  // pure function of (observations, seed) — so the same grid is
+  // bit-identical at 1 vs. 8 threads and across a 3-shard union,
+  // including the per-cell schedule hashes.
+  SweepGrid grid;
+  RunConfig proto;
+  proto.max_steps = 60'000;
+  grid.add_spec({2, 2, 5});
+  for (const auto family : reactive_families()) {
+    grid.add_family(family);
+  }
+  grid.add_bound(3).repeats(2).base_seed(2026).prototype(proto);
+  // 1 spec x 3 reactive families x 1 bound x 2 repeats = 6 cells.
+
+  ExperimentRunner serial = make_runner(1);
+  CollectSink one;
+  serial.run(grid, "one", {&one});
+  ASSERT_EQ(one.reports().size(), 6u);
+
+  ExperimentRunner wide = make_runner(8);
+  CollectSink eight;
+  wide.run(grid, "eight", {&eight});
+
+  std::vector<RunReport> union_reports;
+  for (std::size_t k = 0; k < 3; ++k) {
+    ExperimentRunner shard_runner = make_runner(2, ShardSpec{k, 3});
+    CollectSink part;
+    shard_runner.run(grid, "part", {&part});
+    union_reports.insert(union_reports.end(), part.reports().begin(),
+                         part.reports().end());
+  }
+
+  ASSERT_EQ(eight.reports().size(), one.reports().size());
+  ASSERT_EQ(union_reports.size(), one.reports().size());
+  for (std::size_t i = 0; i < one.reports().size(); ++i) {
+    EXPECT_EQ(eight.reports()[i].detail, one.reports()[i].detail) << i;
+    EXPECT_EQ(union_reports[i].detail, one.reports()[i].detail) << i;
+    EXPECT_EQ(eight.reports()[i].witness_bound,
+              one.reports()[i].witness_bound);
+    EXPECT_EQ(union_reports[i].witness_bound,
+              one.reports()[i].witness_bound);
+    EXPECT_EQ(union_reports[i].faulty, one.reports()[i].faulty) << i;
+    // The replay hash pins the executed step stream itself, the
+    // strongest bit-identity statement a cell can make.
+    EXPECT_NE(one.reports()[i].schedule_hash, 0u) << i;
+    EXPECT_EQ(eight.reports()[i].schedule_hash,
+              one.reports()[i].schedule_hash)
+        << i;
+    EXPECT_EQ(union_reports[i].schedule_hash,
+              one.reports()[i].schedule_hash)
+        << i;
   }
 }
 
@@ -292,6 +349,85 @@ TEST(JsonSinkTest, GridSectionsRecordRowsAndPercentiles) {
   EXPECT_NE(doc.find("\"name\": \"hand_fed\""), std::string::npos);
   EXPECT_NE(doc.find("\"mismatches\": 0"), std::string::npos);
   EXPECT_NE(doc.find("\"total_cells\": 5"), std::string::npos);
+}
+
+TEST(JsonSinkTest, GridRowsCarryTheScheduleHash) {
+  RunnerOptions options;
+  options.name = "hash_rows";
+  options.threads = 2;
+  ExperimentRunner runner(options);
+  JsonSink json = runner.json_sink();
+
+  SweepGrid grid;
+  RunConfig proto;
+  proto.max_steps = 60'000;
+  grid.add_spec({2, 2, 5})
+      .add_family(ScheduleFamily::kWindowStretcher)
+      .add_bound(3)
+      .repeats(2)
+      .base_seed(12)
+      .prototype(proto);
+  runner.run(grid, "grid_section", {&json});
+
+  // Every row records the executed stream's replay hash as a 16-hex
+  // string (never a JSON number: doubles corrupt 64-bit values), and
+  // a real run never hashes to zero.
+  const JsonValue doc = JsonValue::parse(json.render());
+  const JsonValue& rows = doc.at("sections").items().at(0).at("rows");
+  ASSERT_EQ(rows.items().size(), 2u);
+  for (const JsonValue& row : rows.items()) {
+    const std::string hash = row.at("schedule_hash").as_string();
+    ASSERT_EQ(hash.size(), 16u);
+    EXPECT_NE(hash, "0000000000000000");
+    for (const char c : hash) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+    }
+  }
+}
+
+TEST(JsonSinkTest, ReactiveLeaseDocsMergeToTheUnshardedDocument) {
+  // The elastic orchestrator's merge invariant, over a reactive-family
+  // grid: any lease tiling of the virtual span (here an uneven N=3
+  // split, completed out of order) merges bit-identically — modulo
+  // timing keys — to the unsharded document, schedule_hash rows
+  // included (the hash is a row fact, not a summed or timing key).
+  SweepGrid grid;
+  RunConfig proto;
+  proto.max_steps = 60'000;
+  grid.add_spec({2, 2, 5});
+  for (const auto family : reactive_families()) {
+    grid.add_family(family);
+  }
+  grid.add_bound(3).repeats(2).base_seed(7).prototype(proto);
+
+  const auto doc = [&grid](ShardSpec shard) {
+    RunnerOptions options;
+    options.name = "reactive_lease";
+    options.threads = 2;
+    options.shard = shard;
+    ExperimentRunner runner(options);
+    JsonSink json = runner.json_sink();
+    runner.run(grid, "grid_section", {&json});
+    return JsonValue::parse(json.render());
+  };
+  const auto lease = [](std::size_t lo, std::size_t hi) {
+    ShardSpec shard;
+    shard.leased = true;
+    shard.lo = lo;
+    shard.hi = hi;
+    shard.span = ShardSpec::kLeaseSpan;
+    return shard;
+  };
+
+  const JsonValue full = doc(ShardSpec{});
+  std::vector<JsonValue> leases;
+  leases.push_back(doc(lease(600'000, ShardSpec::kLeaseSpan)));
+  leases.push_back(doc(lease(0, 250'000)));
+  leases.push_back(doc(lease(250'000, 600'000)));
+  const JsonValue merged = merge_shard_docs(leases);
+  EXPECT_EQ(canonical_json(strip_timing_keys(merged)),
+            canonical_json(strip_timing_keys(full)));
+  EXPECT_NE(merged.dump().find("\"schedule_hash\""), std::string::npos);
 }
 
 TEST(JsonSinkTest, ShardRowsCarryGlobalIndices) {

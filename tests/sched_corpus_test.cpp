@@ -1,0 +1,73 @@
+// The checked-in regression corpus (tests/corpus/): every entry the
+// schedule fuzzer ever found replays from its recorded step stream
+// alone — the hash matches, the packed analyzer reproduces the
+// recorded bound, and the exhaustive reference analyzer agrees — so
+// any analyzer drift trips here before it ships. The corpus directory
+// is baked in as SETLIB_CORPUS_DIR by CMake.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/fuzz.h"
+#include "src/sched/schedule.h"
+#include "src/util/json.h"
+
+namespace setlib::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& item : fs::directory_iterator(SETLIB_CORPUS_DIR)) {
+    if (item.path().extension() == ".json") files.push_back(item.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+CorpusEntry load(const fs::path& file) {
+  std::ifstream in(file);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_corpus_entry(JsonValue::parse(buffer.str()));
+}
+
+TEST(SchedCorpusTest, CorpusIsPopulated) {
+  // The fuzzer found (at least) these regressions once; an emptied
+  // directory means the suite silently stopped guarding them.
+  EXPECT_GE(corpus_files().size(), 5u);
+}
+
+TEST(SchedCorpusTest, FileNamesPinTheHashAndCell) {
+  // "<hash16>-i<I>j<J>.json": the name alone identifies the replay
+  // (one minimized schedule can regress several cells).
+  for (const fs::path& file : corpus_files()) {
+    const CorpusEntry entry = load(file);
+    const std::string expected = sched::hash_hex(entry.hash) + "-i" +
+                                 std::to_string(entry.i) + "j" +
+                                 std::to_string(entry.j);
+    EXPECT_EQ(file.stem().string(), expected);
+  }
+}
+
+TEST(SchedCorpusTest, EveryEntryReplaysFromItsHash) {
+  for (const fs::path& file : corpus_files()) {
+    const CorpusEntry entry = load(file);
+    const CorpusVerdict verdict = verify_corpus_entry(entry);
+    EXPECT_TRUE(verdict.ok)
+        << file.filename().string() << ": " << verdict.detail;
+    // Every entry is a genuine regression: it beat the best bound the
+    // family registry baseline knew for its cell when it was found.
+    EXPECT_GT(entry.bound, entry.baseline_bound)
+        << file.filename().string();
+  }
+}
+
+}  // namespace
+}  // namespace setlib::core

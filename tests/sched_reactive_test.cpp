@@ -1,0 +1,236 @@
+// Execution-reactive adversaries (src/sched/reactive.h): the registry
+// resolves, generation is a pure function of (observations, seed),
+// every emitted pid is alive and in range, the window-stretcher's
+// silent stretches really grow past its base stretch, the
+// budget-crasher never exceeds its budget nor steps a crashed process,
+// and — mirroring sched_families_test — a 1000-schedule differential
+// pins the packed analyzer against the reference scan on reactive
+// schedules.
+#include "src/sched/reactive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/sched/analyzer.h"
+#include "src/sched/observations.h"
+#include "src/util/rng.h"
+
+namespace setlib::sched {
+namespace {
+
+ReactiveParams params_for(int n) {
+  ReactiveParams p;
+  p.n = n;
+  p.stretch = 32;
+  p.crash_budget = std::min(2, n - 1);
+  return p;
+}
+
+TEST(ReactiveRegistryTest, NamesAreUniqueAndResolvable) {
+  const auto& kinds = reactive_adversaries();
+  ASSERT_EQ(kinds.size(), 3u);
+  std::vector<std::string> names;
+  for (const ReactiveInfo& info : kinds) {
+    names.emplace_back(info.name);
+    const ReactiveInfo* found = find_reactive(info.name);
+    ASSERT_NE(found, nullptr) << info.name;
+    EXPECT_EQ(found->kind, info.kind);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+  EXPECT_EQ(find_reactive("no-such-adversary"), nullptr);
+}
+
+TEST(ReactiveRegistryTest, SameParamsAndSeedReproduceTheSchedule) {
+  // victims = 2 keeps the epoch pools larger than one process, so the
+  // seed actually steers the emissions for every kind.
+  ReactiveParams p = params_for(6);
+  p.victims = 2;
+  for (const ReactiveInfo& info : reactive_adversaries()) {
+    auto a = make_reactive(info.kind, p, 1234);
+    auto b = make_reactive(info.kind, p, 1234);
+    const Schedule sa = generate_observed(*a, 4'000);
+    const Schedule sb = generate_observed(*b, 4'000);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::int64_t t = 0; t < sa.size(); ++t) {
+      ASSERT_EQ(sa[t], sb[t]) << info.name << " diverges at step " << t;
+    }
+    auto c = make_reactive(info.kind, p, 99);
+    const Schedule sc = generate_observed(*c, 4'000);
+    bool differs = false;
+    for (std::int64_t t = 0; t < sa.size(); ++t) {
+      if (sa[t] != sc[t]) {
+        differs = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(differs) << info.name << " ignores its seed";
+  }
+}
+
+TEST(ReactiveRegistryTest, EveryStepIsInRangeAndEverybodySteps) {
+  Rng rng(7);
+  for (const ReactiveInfo& info : reactive_adversaries()) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const int n = 2 + static_cast<int>(rng.next_below(10));
+      auto gen = make_reactive(info.kind, params_for(n), rng.next_u64());
+      const Schedule s = generate_observed(*gen, 4'000);
+      for (std::int64_t t = 0; t < s.size(); ++t) {
+        ASSERT_GE(s[t], 0) << info.name;
+        ASSERT_LT(s[t], n) << info.name;
+      }
+      // Liveness: every non-crashed process keeps stepping (release
+      // passes / round-robin releases / uniform draws reach everyone).
+      const ProcSet crashed = gen->crashes_requested();
+      for (Pid q = 0; q < n; ++q) {
+        if (!crashed.contains(q)) {
+          EXPECT_GT(s.count(q), 0) << info.name << " starves pid " << q;
+        }
+      }
+    }
+  }
+}
+
+TEST(WindowStretcherTest, SilentStretchesGrowPastTheBaseStretch) {
+  const int n = 5;
+  ReactiveParams p = params_for(n);
+  auto gen = make_reactive(ReactiveKind::kWindowStretcher, p, 11);
+  const Schedule s = generate_observed(*gen, 8'000);
+  // Every epoch silences its victims for stretch + max_silence steps,
+  // and max_silence only grows — so some process must show a gap well
+  // beyond the base stretch (the reactive-growth signature).
+  std::int64_t longest_gap = 0;
+  for (Pid victim = 0; victim < n; ++victim) {
+    std::int64_t gap = 0;
+    for (std::int64_t t = 0; t < s.size(); ++t) {
+      gap = s[t] == victim ? 0 : gap + 1;
+      longest_gap = std::max(longest_gap, gap);
+    }
+  }
+  EXPECT_GE(longest_gap, 2 * p.stretch);
+}
+
+TEST(BudgetCrasherTest, StaysWithinBudgetAndNeverStepsTheCrashed) {
+  const int n = 6;
+  ReactiveParams p = params_for(n);
+  p.crash_budget = 3;
+  auto gen = make_reactive(ReactiveKind::kBudgetCrasher, p, 21);
+  // Drive the closed loop by hand so the crash set can be sampled
+  // before every pull: once a process is in crashes_requested it must
+  // never be emitted again.
+  for (std::int64_t t = 0; t < 6'000; ++t) {
+    const ProcSet crashed_before = gen->crashes_requested();
+    const Pid stepped = gen->next();
+    ASSERT_FALSE(crashed_before.contains(stepped))
+        << "crashed pid " << stepped << " stepped at " << t;
+    gen->feed_ptr()->record_step(stepped);
+  }
+  const ProcSet crashed = gen->crashes_requested();
+  EXPECT_LE(crashed.size(), p.crash_budget);
+  EXPECT_LT(crashed.size(), n);  // somebody always survives
+  // The seeded checkpoints fire well inside 6000 steps, so the budget
+  // is actually spent even with no published progress.
+  EXPECT_GT(crashed.size(), 0);
+}
+
+TEST(DecisionChaserTest, ChasesThePublishedFrontier) {
+  const int n = 4;
+  auto feed = std::make_shared<ObservationFeed>(n);
+  ReactiveParams p = params_for(n);
+  p.stretch = 64;
+  auto gen =
+      make_reactive(ReactiveKind::kDecisionChaser, p, 5, feed);
+  // Publish pid 2 as far ahead of everyone: outside the round-robin
+  // release steps it must never be scheduled.
+  feed->publish_progress(2, 1'000'000);
+  std::int64_t chased_steps = 0;
+  for (std::int64_t t = 0; t < 1'000; ++t) {
+    const Pid stepped = gen->next();
+    feed->record_step(stepped);
+    if (stepped == 2) ++chased_steps;
+  }
+  // Only the every-`stretch` liveness release can reach pid 2 (1000 /
+  // 64 rotations over 4 alive pids => a handful of steps at most).
+  EXPECT_LE(chased_steps, 1'000 / p.stretch);
+  EXPECT_GT(chased_steps, 0);  // but it is never starved forever
+}
+
+TEST(ObservationFeedTest, TracksSilencesWindowsAndCrashes) {
+  ObservationFeed feed(3);
+  EXPECT_EQ(feed.total_steps(), 0);
+  EXPECT_EQ(feed.silence_of(0), 0);
+  feed.record_step(0);
+  feed.record_step(0);
+  feed.record_step(1);
+  EXPECT_EQ(feed.total_steps(), 3);
+  EXPECT_EQ(feed.steps_of(0), 2);
+  EXPECT_EQ(feed.silence_of(0), 1);  // one step since pid 0's last
+  EXPECT_EQ(feed.silence_of(1), 0);
+  EXPECT_EQ(feed.silence_of(2), 3);  // never stepped
+  // window_age of a set = the youngest member silence (a P-free window
+  // is open only while every member is silent).
+  EXPECT_EQ(feed.window_age(ProcSet::of({0, 2})), 1);
+  EXPECT_EQ(feed.window_age(ProcSet::of({2})), 3);
+  EXPECT_EQ(feed.max_silence(), 3);
+  feed.record_crash(2);
+  feed.record_crash(2);  // idempotent
+  EXPECT_EQ(feed.crashed(), ProcSet::of({2}));
+  feed.publish_decided(1);
+  EXPECT_TRUE(feed.decided(1));
+  EXPECT_EQ(feed.decided_set(), ProcSet::of({1}));
+  feed.publish_progress(0, 7);
+  EXPECT_TRUE(feed.has_progress(0));
+  EXPECT_EQ(feed.progress_of(0), 7);
+  EXPECT_FALSE(feed.has_progress(1));
+  EXPECT_EQ(feed.progress_of(1), feed.steps_of(1));  // proxy
+}
+
+TEST(ReactiveDifferentialTest, PackedBoundsBitIdenticalOn1000Schedules) {
+  // The 1000-schedule differential harness over the reactive
+  // adversaries: pure-generation (generate_observed) schedules pin the
+  // packed analyzer against the reference scan, full prefixes and
+  // random [from, to) windows alike.
+  Rng rng(2027);
+  const auto& kinds = reactive_adversaries();
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(23));  // up to 24
+    std::int64_t len = rng.next_in(0, 400);
+    if (trial % 7 == 0) len = 64 * rng.next_in(0, 4);   // word-aligned
+    if (trial % 11 == 0) len = 63 + rng.next_in(0, 3);  // straddling
+    ReactiveParams p;
+    p.n = n;
+    p.stretch = 1 + rng.next_in(0, 64);
+    p.victims = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    p.crash_budget = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    p.decide_threshold = rng.next_in(0, 64);
+    const ReactiveInfo& info = kinds[rng.next_below(kinds.size())];
+    auto gen = make_reactive(info.kind, p, rng.next_u64());
+    const Schedule s = generate_observed(*gen, len);
+
+    ProcSet p_set;
+    ProcSet q_set;
+    for (Pid pid = 0; pid < n; ++pid) {
+      if (rng.next_bool(0.4)) p_set = p_set.with(pid);
+      if (rng.next_bool(0.4)) q_set = q_set.with(pid);
+    }
+    EXPECT_EQ(min_timeliness_bound(s, p_set, q_set),
+              min_timeliness_bound_reference(s, p_set, q_set))
+        << info.name << " n=" << n << " len=" << len;
+    if (len > 0) {
+      const std::int64_t from = rng.next_in(0, len);
+      const std::int64_t to = rng.next_in(from, len);
+      EXPECT_EQ(min_timeliness_bound(s, p_set, q_set, from, to),
+                min_timeliness_bound_reference(s, p_set, q_set, from, to))
+          << info.name << " n=" << n << " len=" << len << " ["
+          << from << "," << to << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace setlib::sched
