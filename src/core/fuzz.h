@@ -37,10 +37,16 @@
 
 namespace setlib::core {
 
+/// Largest system size the fuzzer (and corpus verification) supports.
+/// Every finding is re-verified with the exhaustive reference analyzer
+/// over all C(n, i) * C(n, j) pairs, which stays sub-second per
+/// schedule up to n = 10 but explodes combinatorially beyond it.
+inline constexpr int kMaxFuzzN = 10;
+
 struct FuzzOptions {
   std::uint64_t seed = 1;
   int budget = 128;  // seeded trials
-  int n = 5;
+  int n = 5;         // system size, 2..kMaxFuzzN
   std::int64_t schedule_len = 20'000;
   /// Seeds per family used to establish the registry baseline.
   int baseline_seeds = 3;

@@ -67,19 +67,21 @@ Schedule Schedule::slice(std::int64_t from, std::int64_t to) const {
 }
 
 std::uint64_t schedule_hash(const Schedule& s) noexcept {
-  // Chain the stream through splitmix64's mixer. Folding in n and the
-  // length first keeps e.g. (n=2, "010") distinct from (n=3, "010").
+  // Chain the stream through splitmix64's mixer, feeding each mixed
+  // output back into the state: the next fold is added to a value that
+  // already depends nonlinearly on everything before it, so step ORDER
+  // (not just the multiset of pids) shapes the hash. Folding in n and
+  // the length first keeps e.g. (n=2, "010") distinct from (n=3, "010").
   std::uint64_t state = 0x5e741a11u;  // arbitrary fixed chain seed
   state += static_cast<std::uint64_t>(s.n());
-  (void)splitmix64(state);
+  state = splitmix64(state);
   state += static_cast<std::uint64_t>(s.size());
-  (void)splitmix64(state);
+  state = splitmix64(state);
   for (Pid p : s.steps()) {
     state += static_cast<std::uint64_t>(p) + 1;
-    (void)splitmix64(state);
+    state = splitmix64(state);
   }
-  std::uint64_t tail = state;
-  return splitmix64(tail);
+  return state;
 }
 
 std::string hash_hex(std::uint64_t hash) {

@@ -69,5 +69,28 @@ TEST(SchedCorpusTest, EveryEntryReplaysFromItsHash) {
   }
 }
 
+TEST(SchedCorpusTest, RejectsDegenerateCellCoordinates) {
+  // The fuzzer's cell space is strictly i < j (the i == j pair is
+  // trivially bound 1), and n is capped by the exhaustive reference
+  // verification — a hand-edited or corrupted entry outside either
+  // range must fail coordinate validation, not reach the analyzers.
+  CorpusEntry entry;
+  entry.n = 3;
+  entry.schedule = sched::Schedule(3, {0, 1, 2});
+  entry.hash = sched::schedule_hash(entry.schedule);
+  entry.bound = 1;
+
+  entry.i = 2;
+  entry.j = 2;
+  EXPECT_EQ(verify_corpus_entry(entry).detail,
+            "malformed cell coordinates");
+
+  entry.i = 1;
+  entry.j = 2;
+  entry.n = kMaxFuzzN + 1;
+  EXPECT_EQ(verify_corpus_entry(entry).detail,
+            "malformed cell coordinates");
+}
+
 }  // namespace
 }  // namespace setlib::core

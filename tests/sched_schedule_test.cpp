@@ -52,6 +52,19 @@ TEST(ScheduleTest, ConcatPreservesOrder) {
   EXPECT_EQ(c[3], 1);
 }
 
+TEST(ScheduleTest, HashIsStableAndOrderSensitive) {
+  const Schedule s(3, {0, 1, 2});
+  EXPECT_EQ(schedule_hash(s), schedule_hash(Schedule(3, {0, 1, 2})));
+  // Same multiset of pids, different order: the chain must diverge, or
+  // equal hashes would no longer mean bit-identical executions.
+  EXPECT_NE(schedule_hash(s), schedule_hash(Schedule(3, {2, 1, 0})));
+  EXPECT_NE(schedule_hash(s), schedule_hash(Schedule(3, {1, 0, 2})));
+  // n and length are folded in too.
+  EXPECT_NE(schedule_hash(s), schedule_hash(Schedule(4, {0, 1, 2})));
+  EXPECT_NE(schedule_hash(s), schedule_hash(Schedule(3, {0, 1, 2, 2})));
+  EXPECT_NE(schedule_hash(Schedule(2)), schedule_hash(Schedule(3)));
+}
+
 TEST(ScheduleTest, SliceIsHalfOpen) {
   const Schedule s(3, {0, 1, 2, 0, 1});
   const Schedule mid = s.slice(1, 4);
