@@ -56,11 +56,14 @@ int main() {
       return 1;
     }
     counter += values[0];
-    table.row()
-        .cell(s)
-        .cell("add " + std::to_string(values[0]))
-        .cell("p" + std::to_string(values[0] / 10 - 1))
-        .cell(counter);
+    // Built with += rather than `"lit" + std::to_string(...)`: GCC 12's
+    // -Wrestrict misfires on operator+(const char*, string&&) (PR105651)
+    // and the build is -Werror.
+    std::string command = "add ";
+    command += std::to_string(values[0]);
+    std::string proposer = "p";
+    proposer += std::to_string(values[0] / 10 - 1);
+    table.row().cell(s).cell(command).cell(proposer).cell(counter);
   }
   table.print(std::cout);
 

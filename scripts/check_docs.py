@@ -22,6 +22,10 @@ Three checks, all fatal on failure:
   6. Every sched header (src/sched/*.h) is mentioned by stem in
      docs/ARCHITECTURE.md — same rule for the model layer (the
      observation feed and the reactive adversaries live there).
+  7. Every determinism-linter rule name (check_determinism.RULES,
+     plus the allow-comment escape-hatch rule) is documented in
+     docs/STATIC_ANALYSIS.md — the linter must not grow a rule the
+     policy page never explains.
 """
 import pathlib
 import re
@@ -86,13 +90,31 @@ def check_headers(root, layer):
     return failures
 
 
+def check_linter_rules(root):
+    failures = []
+    sys.path.insert(0, str(root / "scripts"))
+    import check_determinism
+    doc = (root / "docs" / "STATIC_ANALYSIS.md").read_text()
+    names = [name for name, _, _ in check_determinism.RULES]
+    names.append("allow-comment")  # the escape-hatch finding
+    for name in names:
+        if f"`{name}`" not in doc:
+            failures.append(
+                f"determinism-linter rule '{name}' is undocumented in "
+                f"docs/STATIC_ANALYSIS.md")
+    print(f"linter rules: {len(names)} rules, "
+          f"{len(failures)} undocumented")
+    return failures
+
+
 def main():
     default_root = pathlib.Path(__file__).resolve().parent.parent
     root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else default_root
     failures = (check_links(root) + check_benches(root) +
                 check_headers(root, "core") +
                 check_headers(root, "runtime") +
-                check_headers(root, "sched"))
+                check_headers(root, "sched") +
+                check_linter_rules(root))
     for failure in failures:
         print(f"FAIL {failure}")
     if failures:

@@ -17,6 +17,11 @@
 //            abort on any mbal' > b; otherwise decide (write D).
 // Non-leaders spin on D (one read per loop iteration, so every loop
 // path performs a register operation and the task stays step-driven).
+//
+// Threading model: no locks here — safety is the ballot protocol over
+// single-writer register blocks, executed through IMemory. Each
+// PaxosProcess instance is owned by one (simulated or real) process;
+// concurrency control lives in the memory implementation.
 #ifndef SETLIB_AGREEMENT_PAXOS_H
 #define SETLIB_AGREEMENT_PAXOS_H
 

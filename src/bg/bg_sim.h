@@ -19,6 +19,11 @@
 // write/collect rather than atomic-snapshot; agreement across
 // simulators comes entirely from the safe-agreement objects, which is
 // what properties (i)/(ii) and decision determinism need.
+//
+// Threading model: the simulation is a protocol expressed as register
+// steps; it owns no locks. All cross-simulator synchronization is the
+// safe-agreement objects' register protocol, executed through IMemory
+// (serialized by the Simulator, or mutex-per-cell in RtMemory).
 #ifndef SETLIB_BG_BG_SIM_H
 #define SETLIB_BG_BG_SIM_H
 

@@ -19,6 +19,11 @@
 // level-1 cell exists; otherwise decide the payload of the
 // smallest-index level-2 cell. With atomic snapshots the level-2 set is
 // frozen once any clean snapshot exists, so deciders agree.
+//
+// Threading model: lock-free by design — the levels protocol above IS
+// the synchronization, carried by single-writer registers through
+// IMemory. The class itself holds only thread-owned state and needs no
+// mutex or thread-safety annotations.
 #ifndef SETLIB_BG_SAFE_AGREEMENT_H
 #define SETLIB_BG_SAFE_AGREEMENT_H
 

@@ -105,7 +105,7 @@ std::vector<sched::TimelyPair> score_all_cells(
 }
 
 std::int64_t packed_best_bound(const sched::Schedule& s, int i, int j) {
-  if (s.size() == 0) return 1;
+  if (s.empty()) return 1;
   const sched::PackedSchedule packed(s);
   return sched::RankedPairScan(packed, i, j).best_pair().bound;
 }

@@ -5,12 +5,12 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "src/util/assert.h"
 #include "src/util/rng.h"
+#include "src/util/sync.h"
 
 namespace setlib::core {
 
@@ -300,7 +300,7 @@ ElasticResult orchestrate_elastic(
   WorkQueue queue(queue_options);
 
   ElasticResult result;
-  std::mutex mu;  // guards result.leases and accepted docs
+  util::Mutex mu;  // guards result.leases and accepted docs
   // Accepted documents with their virtual lo, for the merge ordering.
   std::vector<std::pair<std::size_t, JsonValue>> accepted;
 
@@ -359,7 +359,7 @@ ElasticResult orchestrate_elastic(
         run.ok = true;
         run.accepted = queue.complete(lease->id);
         failure_streak = 0;
-        std::lock_guard<std::mutex> lock(mu);
+        const util::MutexLock lock(mu);
         if (run.accepted) {
           accepted.emplace_back(run.lo, std::move(doc));
         }
@@ -368,7 +368,7 @@ ElasticResult orchestrate_elastic(
         queue.fail(lease->id, run.error);
         ++failure_streak;
         {
-          std::lock_guard<std::mutex> lock(mu);
+          const util::MutexLock lock(mu);
           result.leases.push_back(std::move(run));
         }
         // A worker whose children keep dying backs off before leasing

@@ -33,6 +33,12 @@
 //   named as a timing key (contains "wall"/"seconds"), so the
 //   existing is_timing_key rule excludes it from determinism diffs
 //   and shard merges by construction.
+//
+// Threading model: ServiceHarness owns no mutex. The admission plan is
+// computed single-threaded; batch execution parallelizes only through
+// ExperimentRunner::run(), whose pool synchronizes internally
+// (runtime/executor.h), and per-batch results are thread-owned until
+// the runner's ordered collection phase.
 #ifndef SETLIB_CORE_SERVICE_H
 #define SETLIB_CORE_SERVICE_H
 

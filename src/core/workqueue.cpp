@@ -201,7 +201,7 @@ bool WorkQueue::reshard_straggler_locked(
 }
 
 std::optional<Lease> WorkQueue::acquire(int worker) {
-  std::unique_lock<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (;;) {
     if (aborted_ || remaining_ == 0) return std::nullopt;
     const auto t = now();
@@ -228,12 +228,12 @@ std::optional<Lease> WorkQueue::acquire(int worker) {
     // Nothing to lease but the run is not over: wait for a
     // completion/failure, or for time to pass so expiry/straggler
     // checks can fire.
-    cv_.wait_for(lock, std::chrono::milliseconds(50));
+    cv_.wait_for(mu_, std::chrono::milliseconds(50));
   }
 }
 
 bool WorkQueue::complete(std::uint64_t lease_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = active_.find(lease_id);
   if (it == active_.end()) {
     // Superseded or expired while the worker was still running: the
@@ -255,7 +255,7 @@ bool WorkQueue::complete(std::uint64_t lease_id) {
 }
 
 void WorkQueue::fail(std::uint64_t lease_id, const std::string& reason) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = active_.find(lease_id);
   if (it == active_.end()) {
     // Already superseded/expired — the requeue happened then.
@@ -280,17 +280,17 @@ void WorkQueue::fail(std::uint64_t lease_id, const std::string& reason) {
 }
 
 bool WorkQueue::done() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return remaining_ == 0 && !aborted_;
 }
 
 bool WorkQueue::aborted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return aborted_;
 }
 
 WorkQueueReport WorkQueue::report() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return stats_;
 }
 

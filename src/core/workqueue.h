@@ -33,17 +33,17 @@
 #define SETLIB_CORE_WORKQUEUE_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/report.h"
 #include "src/util/json.h"
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace setlib::core {
 
@@ -174,26 +174,32 @@ class WorkQueue {
   std::chrono::steady_clock::time_point now() const;
   /// Requeues a range, splitting it when it is at least 2 wide.
   /// Returns whether it split. Caller holds mu_.
-  bool requeue_split_locked(const Range& range);
-  void spend_failure_locked(const std::string& reason);
+  bool requeue_split_locked(const Range& range) SETLIB_REQUIRES(mu_);
+  void spend_failure_locked(const std::string& reason)
+      SETLIB_REQUIRES(mu_);
   /// Moves expired leases back to pending. Caller holds mu_.
-  void expire_locked(std::chrono::steady_clock::time_point t);
+  void expire_locked(std::chrono::steady_clock::time_point t)
+      SETLIB_REQUIRES(mu_);
   /// Supersedes the oldest straggler when an idle worker needs work.
   /// Returns whether anything was requeued. Caller holds mu_.
-  bool reshard_straggler_locked(std::chrono::steady_clock::time_point t);
+  bool reshard_straggler_locked(std::chrono::steady_clock::time_point t)
+      SETLIB_REQUIRES(mu_);
 
+  // Finalized by the constructor, immutable afterwards.
   WorkQueueOptions options_;
   std::size_t initial_ranges_ = 0;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Range> pending_;
-  std::map<std::uint64_t, Active> active_;
-  std::size_t remaining_ = 0;  // virtual cells without accepted result
-  std::uint64_t next_id_ = 1;
-  std::vector<double> completed_seconds_;  // accepted lease durations
-  WorkQueueReport stats_;
-  bool aborted_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::vector<Range> pending_ SETLIB_GUARDED_BY(mu_);
+  std::map<std::uint64_t, Active> active_ SETLIB_GUARDED_BY(mu_);
+  // Virtual cells without an accepted result.
+  std::size_t remaining_ SETLIB_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_id_ SETLIB_GUARDED_BY(mu_) = 1;
+  // Accepted lease durations.
+  std::vector<double> completed_seconds_ SETLIB_GUARDED_BY(mu_);
+  WorkQueueReport stats_ SETLIB_GUARDED_BY(mu_);
+  bool aborted_ SETLIB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace setlib::core

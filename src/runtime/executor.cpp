@@ -176,7 +176,7 @@ WorkStealingPool::WorkStealingPool(int threads) {
 
 WorkStealingPool::~WorkStealingPool() {
   {
-    std::scoped_lock lock(m_);
+    const util::MutexLock lock(m_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -188,8 +188,8 @@ void WorkStealingPool::worker_main(std::size_t self) {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock lock(m_);
-      work_cv_.wait(lock, [&] { return stopping_ || job_seq_ != seen; });
+      const util::MutexLock lock(m_);
+      while (!stopping_ && job_seq_ == seen) work_cv_.wait(m_);
       if (job_seq_ == seen) return;  // stopping and nothing new
       seen = job_seq_;
       job = job_;
@@ -213,7 +213,7 @@ void WorkStealingPool::work(Job& job, std::size_t self) {
     }
     // The thread retiring the job's last index wakes the submitter.
     if (job.remaining.fetch_sub(len, std::memory_order_acq_rel) == len) {
-      std::scoped_lock lock(m_);
+      const util::MutexLock lock(m_);
       done_cv_.notify_all();
     }
   };
@@ -223,7 +223,7 @@ void WorkStealingPool::work(Job& job, std::size_t self) {
     std::int64_t len = 0;
     if (self < shards.size()) {
       Shard& own = shards[self];
-      std::scoped_lock lock(own.m);
+      const util::MutexLock lock(own.m);
       if (own.head < own.tail) {
         begin = own.head;
         len = std::min(job.grain, own.tail - own.head);
@@ -236,8 +236,9 @@ void WorkStealingPool::work(Job& job, std::size_t self) {
       std::int64_t victim_remaining = 0;
       for (std::size_t v = 0; v < shards.size(); ++v) {
         if (v == self) continue;
-        std::scoped_lock lock(shards[v].m);
-        const std::int64_t remaining = shards[v].tail - shards[v].head;
+        Shard& s = shards[v];
+        const util::MutexLock lock(s.m);
+        const std::int64_t remaining = s.tail - s.head;
         if (remaining > victim_remaining) {
           victim = v;
           victim_remaining = remaining;
@@ -245,7 +246,7 @@ void WorkStealingPool::work(Job& job, std::size_t self) {
       }
       if (victim < shards.size()) {
         Shard& s = shards[victim];
-        std::scoped_lock lock(s.m);
+        const util::MutexLock lock(s.m);
         if (s.head < s.tail) {
           len = std::min(job.grain, s.tail - s.head);
           s.tail -= len;
@@ -286,14 +287,18 @@ void WorkStealingPool::for_each(std::size_t n,
     std::size_t begin = 0;
     for (std::size_t w = 0; w < participants; ++w) {
       const std::size_t len = base + (w < extra ? 1 : 0);
-      job->shards[w].head = static_cast<std::int64_t>(begin);
-      job->shards[w].tail = static_cast<std::int64_t>(begin + len);
+      Shard& shard = job->shards[w];
+      // Uncontended: the job is not published yet. Locking anyway
+      // keeps the write sites of head/tail uniform for the analysis.
+      const util::MutexLock lock(shard.m);
+      shard.head = static_cast<std::int64_t>(begin);
+      shard.tail = static_cast<std::int64_t>(begin + len);
       begin += len;
     }
     job->remaining.store(static_cast<std::int64_t>(n),
                          std::memory_order_release);
     {
-      std::scoped_lock lock(m_);
+      const util::MutexLock lock(m_);
       SETLIB_EXPECTS(!busy_);  // one parallel submission at a time
       busy_ = true;
       job_ = job;
@@ -302,10 +307,10 @@ void WorkStealingPool::for_each(std::size_t n,
     work_cv_.notify_all();
     work(*job, 0);  // the submitter is participant 0
     {
-      std::unique_lock lock(m_);
-      done_cv_.wait(lock, [&] {
-        return job->remaining.load(std::memory_order_acquire) <= 0;
-      });
+      const util::MutexLock lock(m_);
+      while (job->remaining.load(std::memory_order_acquire) > 0) {
+        done_cv_.wait(m_);
+      }
       job_ = nullptr;
       busy_ = false;
     }

@@ -13,13 +13,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -27,6 +25,8 @@
 #include "src/runtime/rt_memory.h"
 #include "src/shm/process.h"
 #include "src/util/procset.h"
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace setlib::runtime {
 
@@ -146,12 +146,16 @@ class WorkStealingPool {
 
  private:
   struct Shard {
-    std::mutex m;
-    std::int64_t head = 0;  // owner pops here
-    std::int64_t tail = 0;  // thieves pop here; range is [head, tail)
+    util::Mutex m;
+    std::int64_t head SETLIB_GUARDED_BY(m) = 0;  // owner pops here
+    // Thieves pop here; range is [head, tail).
+    std::int64_t tail SETLIB_GUARDED_BY(m) = 0;
   };
 
   struct Job {
+    // fn/errors/grain are written once before the job is published
+    // under m_ and read-only afterwards; remaining is the atomic
+    // completion count.
     const std::function<void(std::size_t)>* fn = nullptr;
     std::vector<Shard> shards;
     std::vector<std::exception_ptr>* errors = nullptr;
@@ -166,13 +170,16 @@ class WorkStealingPool {
   std::atomic<std::int64_t> threads_spawned_{0};
   std::atomic<std::int64_t> jobs_completed_{0};
 
-  std::mutex m_;
-  std::condition_variable work_cv_;  // workers park here between jobs
-  std::condition_variable done_cv_;  // the submitter waits here
-  std::shared_ptr<Job> job_;         // current job (null when idle)
-  std::uint64_t job_seq_ = 0;        // bumped per submitted job
-  bool busy_ = false;                // a parallel job is in flight
-  bool stopping_ = false;
+  util::Mutex m_;
+  util::CondVar work_cv_;  // workers park here between jobs
+  util::CondVar done_cv_;  // the submitter waits here
+  // Current job (null when idle).
+  std::shared_ptr<Job> job_ SETLIB_GUARDED_BY(m_);
+  // Bumped per submitted job.
+  std::uint64_t job_seq_ SETLIB_GUARDED_BY(m_) = 0;
+  // A parallel job is in flight.
+  bool busy_ SETLIB_GUARDED_BY(m_) = false;
+  bool stopping_ SETLIB_GUARDED_BY(m_) = false;
 
   std::vector<std::jthread> workers_;  // last: joins before members die
 };

@@ -45,8 +45,8 @@ void Pacer::apply_locked(Pid pid) {
 
 bool Pacer::step(Pid pid) {
   SETLIB_EXPECTS(pid >= 0 && pid < n_);
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return stop_ || allowed_locked(pid); });
+  const util::MutexLock lock(mu_);
+  while (!stop_ && !allowed_locked(pid)) cv_.wait(mu_);
   if (stop_) return false;
   apply_locked(pid);
   // A step by a P member unblocks Q waiters; wake them.
@@ -56,7 +56,7 @@ bool Pacer::step(Pid pid) {
 
 void Pacer::deactivate(Pid pid) {
   SETLIB_EXPECTS(pid >= 0 && pid < n_);
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   active_ = active_.without(pid);
   // Constraints whose timely set has fully deactivated can never be
   // satisfied again; drop them so waiters are not stranded. Teardown
@@ -74,33 +74,33 @@ void Pacer::deactivate(Pid pid) {
 }
 
 void Pacer::request_stop() {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   stop_ = true;
   cv_.notify_all();
 }
 
 bool Pacer::stopped() const {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   return stop_;
 }
 
 std::int64_t Pacer::steps_taken() const {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   return steps_;
 }
 
 std::int64_t Pacer::dropped_constraints() const {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   return dropped_;
 }
 
 std::optional<std::int64_t> Pacer::first_drop_step() const {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   return first_drop_step_;
 }
 
 sched::Schedule Pacer::recorded_schedule() const {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   return sched::Schedule(n_, log_);
 }
 

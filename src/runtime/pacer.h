@@ -15,15 +15,15 @@
 #ifndef SETLIB_RUNTIME_PACER_H
 #define SETLIB_RUNTIME_PACER_H
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "src/sched/enforcer.h"
 #include "src/sched/schedule.h"
 #include "src/util/procset.h"
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace setlib::runtime {
 
@@ -62,8 +62,8 @@ class Pacer {
   sched::Schedule recorded_schedule() const;
 
  private:
-  bool allowed_locked(Pid pid) const;
-  void apply_locked(Pid pid);
+  bool allowed_locked(Pid pid) const SETLIB_REQUIRES(mu_);
+  void apply_locked(Pid pid) SETLIB_REQUIRES(mu_);
 
   struct State {
     sched::TimelinessConstraint c;
@@ -72,16 +72,16 @@ class Pacer {
   };
 
   const int n_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<State> states_;
-  ProcSet active_;
-  bool stop_ = false;
-  std::int64_t steps_ = 0;
-  std::int64_t dropped_ = 0;
-  std::optional<std::int64_t> first_drop_step_;
-  bool record_;
-  std::vector<Pid> log_;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::vector<State> states_ SETLIB_GUARDED_BY(mu_);
+  ProcSet active_ SETLIB_GUARDED_BY(mu_);
+  bool stop_ SETLIB_GUARDED_BY(mu_) = false;
+  std::int64_t steps_ SETLIB_GUARDED_BY(mu_) = 0;
+  std::int64_t dropped_ SETLIB_GUARDED_BY(mu_) = 0;
+  std::optional<std::int64_t> first_drop_step_ SETLIB_GUARDED_BY(mu_);
+  const bool record_;  // set at construction, immutable afterwards
+  std::vector<Pid> log_ SETLIB_GUARDED_BY(mu_);
 };
 
 }  // namespace setlib::runtime

@@ -15,7 +15,7 @@ shm::Value RtMemory::read(shm::RegisterId reg) {
   SETLIB_EXPECTS(reg >= 0 && reg < register_count());
   Cell& cell = *cells_[static_cast<std::size_t>(reg)];
   reads_.fetch_add(1, std::memory_order_relaxed);
-  const std::scoped_lock lock(cell.mu);
+  const util::MutexLock lock(cell.mu);
   return cell.value;
 }
 
@@ -23,7 +23,7 @@ void RtMemory::write(shm::RegisterId reg, shm::Value v) {
   SETLIB_EXPECTS(reg >= 0 && reg < register_count());
   Cell& cell = *cells_[static_cast<std::size_t>(reg)];
   writes_.fetch_add(1, std::memory_order_relaxed);
-  const std::scoped_lock lock(cell.mu);
+  const util::MutexLock lock(cell.mu);
   cell.value = std::move(v);
 }
 

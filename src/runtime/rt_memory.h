@@ -11,11 +11,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/shm/memory.h"
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace setlib::runtime {
 
@@ -44,10 +45,13 @@ class RtMemory final : public shm::IMemory {
 
  private:
   struct Cell {
-    mutable std::mutex mu;
-    shm::Value value;
+    mutable util::Mutex mu;
+    shm::Value value SETLIB_GUARDED_BY(mu);
   };
 
+  // The cell vector itself is setup-phase-only: alloc() appends until
+  // freeze(), and the executor freezes before any reader thread
+  // exists, so only each cell's payload needs a guard.
   std::vector<std::unique_ptr<Cell>> cells_;
   std::vector<std::string> names_;
   std::atomic<bool> frozen_{false};

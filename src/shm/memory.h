@@ -6,12 +6,17 @@
 // used by the threaded executor. Registers are allocated by name during
 // a setup phase (before any step executes); reads of never-written
 // registers return the bottom Value.
+//
+// Threading model: SimMemory is single-threaded by construction — it
+// only ever runs inside the Simulator's step loop, which serializes
+// every process step on one thread. It therefore owns no locks and no
+// thread-safety annotations; concurrent access goes through
+// runtime::RtMemory instead.
 #ifndef SETLIB_SHM_MEMORY_H
 #define SETLIB_SHM_MEMORY_H
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/shm/value.h"

@@ -15,6 +15,12 @@
 // O(n)) is one atomic register. Values are int64 (the common case for
 // the protocols in this library); the initial value of every segment
 // is configurable.
+//
+// Threading model: this class holds no locks — its atomicity argument
+// is the protocol above, executed as register steps through IMemory.
+// Under the Simulator those steps are serialized on one thread; under
+// the threaded executor each wrapper instance is thread-owned and the
+// registers themselves synchronize via runtime::RtMemory.
 #ifndef SETLIB_SHM_SNAPSHOT_H
 #define SETLIB_SHM_SNAPSHOT_H
 

@@ -6,6 +6,10 @@
 // the model permits. A default-constructed Value is the unwritten
 // "bottom"; readers use at_or() to treat bottom fields as defaults (the
 // paper initializes its registers to 0).
+//
+// Threading model: Value is a plain value type with no shared state;
+// concurrent use is governed entirely by the memory that stores it
+// (SimMemory: single-threaded; runtime::RtMemory: per-cell mutex).
 #ifndef SETLIB_SHM_VALUE_H
 #define SETLIB_SHM_VALUE_H
 

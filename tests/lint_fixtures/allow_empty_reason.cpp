@@ -1,0 +1,3 @@
+// Fixture: an allow() with no reason is itself a finding.
+#include <chrono>
+auto t0() { return std::chrono::steady_clock::now(); }  // determinism: allow( )

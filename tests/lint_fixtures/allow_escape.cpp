@@ -1,0 +1,3 @@
+// Fixture: the inline escape hatch suppresses every rule on its line.
+#include <chrono>
+auto t0() { return std::chrono::steady_clock::now(); }  // determinism: allow(feeds the wall-seconds timing key only)

@@ -1,0 +1,3 @@
+// Fixture: the chrono rule must fire outside the timing-key files.
+#include <chrono>
+auto tick() { return std::chrono::steady_clock::now(); }

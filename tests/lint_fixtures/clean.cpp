@@ -1,0 +1,6 @@
+// Fixture: deterministic code plus rule names in comments and string
+// literals ("rand()", std::chrono mentioned here) must stay clean.
+// A comment saying rand() or time(nullptr) is not a violation.
+#include <string>
+std::string label() { return "uses rand() and std::random_device"; }
+long runtime_total = 0;  // "runtime" contains no banned call

@@ -1,0 +1,7 @@
+// Fixture: the pointer-order rule must fire on pointer-value
+// orderings and pointer-to-integer casts.
+#include <cstdint>
+#include <functional>
+#include <set>
+std::set<int*, std::less<int*>> by_address;
+std::uintptr_t key(int* p) { return reinterpret_cast<std::uintptr_t>(p); }

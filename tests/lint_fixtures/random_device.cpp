@@ -1,0 +1,3 @@
+// Fixture: the random-device rule must fire on hardware entropy.
+#include <random>
+unsigned seed() { return std::random_device{}(); }

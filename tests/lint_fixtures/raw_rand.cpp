@@ -1,0 +1,4 @@
+// Fixture: the raw-rand rule must fire on global-state RNG calls.
+#include <cstdlib>
+int pick() { return rand() % 6; }
+void reseed() { srand(42); }

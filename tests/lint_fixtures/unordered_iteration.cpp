@@ -1,0 +1,5 @@
+// Fixture: the unordered-iteration rule must fire on unordered
+// containers (their iteration order feeds report rows).
+#include <string>
+#include <unordered_map>
+std::unordered_map<std::string, int> counts;

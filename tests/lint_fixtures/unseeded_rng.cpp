@@ -1,0 +1,6 @@
+// Fixture: the unseeded-rng rule must fire on default-constructed
+// engines (and stay quiet on seeded ones).
+#include <random>
+std::mt19937 unseeded;
+std::mt19937_64 braced{};
+std::mt19937 seeded(12345);  // must NOT fire

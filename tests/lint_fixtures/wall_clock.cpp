@@ -1,0 +1,3 @@
+// Fixture: the wall-clock rule must fire on C time reads.
+#include <ctime>
+long stamp() { return time(nullptr) + clock(); }
