@@ -42,6 +42,7 @@
 #include "src/sched/analyzer.h"
 #include "src/sched/families.h"
 #include "src/sched/reactive.h"
+#include "src/util/arena.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
@@ -156,9 +157,14 @@ void print_frontier_map(core::ExperimentRunner& runner,
           reactives[cell.family - families.size()].kind, params, seed);
       s = sched::generate_observed(*gen, kFrontierLen);
     }
-    const sched::PackedSchedule packed(s);
+    // Pack and scan on this worker's pool arena: the frame rewinds the
+    // cell's footprint on exit, so long frontier maps stay within the
+    // arena reserve instead of churning the heap per cell.
+    util::ArenaAllocator& arena = runner.worker_arena();
+    const util::FrameScope frame(arena);
+    const sched::PackedSchedule packed(s, arena);
     const sched::TimelyPair best =
-        sched::RankedPairScan(packed, cell.i, cell.j).best_pair();
+        sched::RankedPairScan(packed, cell.i, cell.j, &arena).best_pair();
     cell.best_bound = best.bound;
     cell.member = best.bound <= kBoundCap;
     cell.reference_match =

@@ -9,7 +9,7 @@
 // time raw simulator throughput while the detector runs.
 //
 // EXP-F2d sweeps system membership at detector-infeasible sizes: for
-// n up to 24, the batched sched::RankedPairScan censuses every
+// n up to 28, the batched sched::RankedPairScan censuses every
 // C(n,2) x C(n,n-1) pair on witness-enforced vs i-subset-starver
 // schedules, with the P-rank chunks driven through the runner pool.
 #include <benchmark/benchmark.h>
@@ -203,12 +203,16 @@ void print_largen_membership(core::ExperimentRunner& runner,
   // n = 24 is infeasible for k > 2 (|Pi_n^k| registers), but system
   // membership — is the schedule in S^2_{n-1,n}, and how many (P, Q)
   // pairs certify it? — is exactly what the batched pair scan answers.
+  // n = 28 (C(28,2) x 28 = 10584 pairs per census) rides on the SIMD
+  // pair-scan kernels; each worker's scan scratch lives on its pool
+  // arena, so the census itself is allocation-free at steady state.
   struct Row {
     int n;
     bool enforced;  // witness-enforced vs 2-subset starver
   };
   const Row rows[] = {{16, true},  {16, false}, {20, true},
-                      {20, false}, {24, true},  {24, false}};
+                      {20, false}, {24, true},  {24, false},
+                      {28, true},  {28, false}};
   const std::size_t count = std::size(rows);
 
   core::WallTimer timer;
@@ -248,7 +252,7 @@ void print_largen_membership(core::ExperimentRunner& runner,
   std::cout << "EXP-F2d: S^2_{n-1,n} membership census at large n "
                "(RankedPairScan, cap 3, 40k-step prefixes)\n"
             << table.render() << "\n";
-  // Every shard walks all six census rows (each census shards its
+  // Every shard walks all eight census rows (each census shards its
   // pair chunks internally), so the section's "cells" must be this
   // shard's slice of the row space — like every other hand-fed
   // section — or the shard merge would sum the full count N times.
@@ -257,12 +261,17 @@ void print_largen_membership(core::ExperimentRunner& runner,
   // n_max is a run invariant (kSame); the census member counts below
   // come out of the runner's shard slice, so shards sum to the
   // unsharded counts (the default rule).
-  json.annotate("n_max", 24.0, core::MergeRule::kSame);
+  json.annotate("n_max", 28.0, core::MergeRule::kSame);
   for (std::size_t r = 0; r < count; ++r) {
-    if (rows[r].n != 24) continue;
-    json.annotate(rows[r].enforced ? "members_n24_enforced"
-                                   : "members_n24_starver",
-                  static_cast<double>(results[r].members));
+    if (rows[r].n == 24) {
+      json.annotate(rows[r].enforced ? "members_n24_enforced"
+                                     : "members_n24_starver",
+                    static_cast<double>(results[r].members));
+    } else if (rows[r].n == 28) {
+      json.annotate(rows[r].enforced ? "members_n28_enforced"
+                                     : "members_n28_starver",
+                    static_cast<double>(results[r].members));
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 // ExperimentRunner pool (--threads / --shard / --json).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iostream>
 
 #include "src/core/runner.h"
@@ -14,11 +15,13 @@
 #include "src/sched/analyzer.h"
 #include "src/sched/enforcer.h"
 #include "src/sched/generators.h"
+#include "src/sched/simd.h"
 #include "src/shm/memory.h"
 #include "src/shm/process.h"
 #include "src/shm/program.h"
 #include "src/shm/simulator.h"
 #include "src/shm/snapshot.h"
+#include "src/util/arena.h"
 #include "src/util/procset.h"
 #include "src/util/table.h"
 
@@ -141,6 +144,69 @@ void BM_AnalyzerScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * len);
 }
 BENCHMARK(BM_AnalyzerScan)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_PackSchedule(benchmark::State& state) {
+  // repack() into a recycled instance on an arena: the pack-once
+  // pipeline's per-run packing cost, with the arena counters exported
+  // per op — 0 allocs/op is the steady-state claim.
+  const std::int64_t len = state.range(0);
+  sched::UniformRandomGenerator gen(8, 9);
+  const auto schedule = sched::generate(gen, len);
+  util::ArenaAllocator arena;
+  const std::int64_t allocs_before = arena.allocs();
+  const std::int64_t bytes_before = arena.bytes();
+  for (auto _ : state) {
+    const util::FrameScope frame(arena);
+    sched::PackedSchedule packed(schedule, arena);
+    benchmark::DoNotOptimize(packed.column(0));
+  }
+  const auto ops = static_cast<double>(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(state.iterations())));
+  state.counters["allocs_per_op"] =
+      static_cast<double>(arena.allocs() - allocs_before) / ops;
+  state.counters["bytes_per_op"] =
+      static_cast<double>(arena.bytes() - bytes_before) / ops;
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_PackSchedule)->Arg(1 << 14)->Arg(1 << 18);
+
+void run_ranked_pair_scan(benchmark::State& state,
+                          const sched::simd::Kernels* force) {
+  // Full (i=2, j=6) census over a packed n=8 prefix, scratch on an
+  // arena. The SIMD/Scalar pair differ only in the kernel table, so
+  // their ratio is the vectorization win on this host.
+  const std::int64_t len = state.range(0);
+  sched::simd::set_kernels_for_testing(force);
+  sched::UniformRandomGenerator gen(8, 9);
+  const auto schedule = sched::generate(gen, len);
+  const sched::PackedSchedule packed(schedule);
+  util::ArenaAllocator arena;
+  const std::int64_t allocs_before = arena.allocs();
+  std::int64_t pairs = 0;
+  for (auto _ : state) {
+    const sched::RankedPairScan scan(packed, 2, 6, &arena);
+    const auto count = scan.count_members(3);
+    benchmark::DoNotOptimize(count.members);
+    pairs = count.pairs;
+  }
+  sched::simd::set_kernels_for_testing(nullptr);
+  const auto ops = static_cast<double>(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(state.iterations())));
+  state.counters["allocs_per_op"] =
+      static_cast<double>(arena.allocs() - allocs_before) / ops;
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.SetItemsProcessed(state.iterations() * pairs);
+}
+
+void BM_RankedPairScanSIMD(benchmark::State& state) {
+  run_ranked_pair_scan(state, nullptr);  // dispatched best-for-host
+}
+BENCHMARK(BM_RankedPairScanSIMD)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_RankedPairScanScalar(benchmark::State& state) {
+  run_ranked_pair_scan(state, &sched::simd::scalar_kernels());
+}
+BENCHMARK(BM_RankedPairScanScalar)->Arg(1 << 12)->Arg(1 << 14);
 
 void print_analysis_sweep(core::ExperimentRunner& runner,
                           core::JsonSink& json) {

@@ -22,7 +22,10 @@ Three checks, all fatal on failure:
   6. Every sched header (src/sched/*.h) is mentioned by stem in
      docs/ARCHITECTURE.md — same rule for the model layer (the
      observation feed and the reactive adversaries live there).
-  7. Every determinism-linter rule name (check_determinism.RULES,
+  7. Every util header (src/util/*.h) is mentioned by stem in
+     docs/ARCHITECTURE.md — same rule for the foundation layer (the
+     arena allocator and the contract macros live there).
+  8. Every determinism-linter rule name (check_determinism.RULES,
      plus the allow-comment escape-hatch rule) is documented in
      docs/STATIC_ANALYSIS.md — the linter must not grow a rule the
      policy page never explains.
@@ -114,6 +117,7 @@ def main():
                 check_headers(root, "core") +
                 check_headers(root, "runtime") +
                 check_headers(root, "sched") +
+                check_headers(root, "util") +
                 check_linter_rules(root))
     for failure in failures:
         print(f"FAIL {failure}")

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_<name>.json documents on exact counter keys.
+
+Usage: compare_bench.py baseline.json candidate.json [--keys k1,k2,...]
+
+A minimal baseline-vs-candidate regression gate for the allocation
+counters the arena pipeline reports. Unlike timing keys, these
+counters are deterministic facts — a cell's `allocs_per_op` /
+`bytes_per_op` is a pure function of (config, arena reserve), see
+docs/MEMORY.md — so the comparison is exact: no variance handling, no
+noise thresholds. A candidate value *above* its baseline is a
+regression; equal or lower passes (improvements print, so a baseline
+refresh is a conscious step, not drift).
+
+Compared, per section (matched by name) and per row (matched by
+`index`):
+  - section stats:  allocs_per_op_max, bytes_per_op_max
+  - row facts:      allocs_per_op, bytes_per_op
+
+Sections or keys present on only one side are reported but do not
+fail the gate — benches grow sections, and old baselines predate the
+keys. Exit status: 0 clean or improvements only, 1 regression, 2
+usage/parse errors. CI wires this as a soft gate (the step reports
+but does not block) until a curated baseline lands in-tree.
+"""
+import json
+import sys
+
+SECTION_KEYS = ("allocs_per_op_max", "bytes_per_op_max")
+ROW_KEYS = ("allocs_per_op", "bytes_per_op")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"compare_bench: cannot read {path}: {err}")
+
+
+def sections_by_name(doc):
+    return {s.get("name"): s for s in doc.get("sections", [])
+            if isinstance(s, dict)}
+
+
+def compare_value(label, base, cand, regressions, improvements):
+    if base is None or cand is None:
+        return  # key predates one side; reported via section notes
+    if cand > base:
+        regressions.append(f"{label}: {base} -> {cand}")
+    elif cand < base:
+        improvements.append(f"{label}: {base} -> {cand}")
+
+
+def compare_section(name, base, cand, regressions, improvements):
+    for key in SECTION_KEYS:
+        compare_value(f"{name}.{key}", base.get(key), cand.get(key),
+                      regressions, improvements)
+    base_rows = {r.get("index"): r for r in base.get("rows", [])}
+    cand_rows = {r.get("index"): r for r in cand.get("rows", [])}
+    for index in sorted(set(base_rows) & set(cand_rows),
+                        key=lambda i: (i is None, i)):
+        for key in ROW_KEYS:
+            compare_value(f"{name}.rows[{index}].{key}",
+                          base_rows[index].get(key),
+                          cand_rows[index].get(key),
+                          regressions, improvements)
+
+
+def main(argv):
+    keys_override = None
+    args = []
+    for arg in argv[1:]:
+        if arg.startswith("--keys="):
+            keys_override = tuple(k for k in arg[7:].split(",") if k)
+        else:
+            args.append(arg)
+    if len(args) != 2:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    global SECTION_KEYS, ROW_KEYS
+    if keys_override:
+        # An explicit key list applies at both levels; unknown keys
+        # simply never match and compare nothing.
+        SECTION_KEYS = keys_override
+        ROW_KEYS = keys_override
+
+    base_doc, cand_doc = load(args[0]), load(args[1])
+    base_secs, cand_secs = sections_by_name(base_doc), sections_by_name(cand_doc)
+
+    regressions, improvements = [], []
+    shared = [n for n in base_secs if n in cand_secs]
+    for name in shared:
+        compare_section(name, base_secs[name], cand_secs[name],
+                        regressions, improvements)
+    for name in sorted(set(base_secs) - set(cand_secs)):
+        print(f"note: section '{name}' only in baseline")
+    for name in sorted(set(cand_secs) - set(base_secs)):
+        print(f"note: section '{name}' only in candidate")
+
+    print(f"compared {len(shared)} shared section(s): "
+          f"{len(regressions)} regression(s), "
+          f"{len(improvements)} improvement(s)")
+    for line in improvements:
+        print(f"IMPROVED {line}")
+    for line in regressions:
+        print(f"REGRESSED {line}")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

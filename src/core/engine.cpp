@@ -183,6 +183,14 @@ FamilySetup make_reactive_setup(const RunConfig& cfg) {
 }  // namespace
 
 RunReport run_agreement(const RunConfig& cfg) {
+  // One-off convenience path (tests, tools): a run-local arena with
+  // the standard reserve, so the counters mean the same thing as on
+  // the runner's per-worker arenas.
+  util::ArenaAllocator arena;
+  return run_agreement(cfg, arena);
+}
+
+RunReport run_agreement(const RunConfig& cfg, util::ArenaAllocator& arena) {
   cfg.spec.validate();
   cfg.system.validate();
   SETLIB_EXPECTS(cfg.spec.n == cfg.system.n);
@@ -350,9 +358,21 @@ RunReport run_agreement(const RunConfig& cfg) {
   report.distinct_decisions = verdict.distinct_values;
   report.success = verdict.ok;
 
-  report.witness_bound = sched::min_timeliness_bound(
-      sim.executed(), setup.timely_set, setup.observed_set);
-  report.schedule_hash = sched::schedule_hash(sim.executed());
+  {
+    // Analysis phase: pack the executed schedule once on the cell
+    // arena and run the witness check on the packed form. The counter
+    // deltas across this frame are the run's allocation account —
+    // zero when the packed words + scan scratch fit the reserve.
+    const std::int64_t allocs_before = arena.allocs();
+    const std::int64_t bytes_before = arena.bytes();
+    const util::FrameScope frame(arena);
+    const sched::PackedSchedule packed(sim.executed(), arena);
+    report.witness_bound =
+        packed.bound_for(setup.timely_set, setup.observed_set);
+    report.schedule_hash = sched::schedule_hash(sim.executed());
+    report.allocs_per_op = arena.allocs() - allocs_before;
+    report.bytes_per_op = arena.bytes() - bytes_before;
+  }
 
   std::ostringstream os;
   os << verdict.detail << " steps=" << report.steps_executed

@@ -29,6 +29,7 @@
 
 #include "src/core/spec.h"
 #include "src/sched/generators.h"
+#include "src/util/arena.h"
 #include "src/util/procset.h"
 
 namespace setlib::core {
@@ -129,11 +130,26 @@ struct RunReport {
   /// merges. Rendered as a 16-hex-digit string in JSON rows.
   std::uint64_t schedule_hash = 0;
 
+  // Allocation accounting of the analysis phase (packing + witness
+  // bound), measured as the run's delta on its cell arena: upstream
+  // blocks acquired beyond the arena reserve, and their bytes. Zero is
+  // the steady state — the pack-once pipeline's no-heap-traffic claim,
+  // pinned per row in the BENCH_*.json artifacts. Deterministic facts
+  // (pure function of config + reserve size), merged as kSame.
+  std::int64_t allocs_per_op = 0;
+  std::int64_t bytes_per_op = 0;
+
   DetectorReport detector;
   std::string detail;
 };
 
 RunReport run_agreement(const RunConfig& config);
+/// Same run, with the analysis phase's packed schedule and scan
+/// scratch placed on `arena` (inside a FrameScope; the arena's frame
+/// position is restored before returning). The report's
+/// allocs_per_op / bytes_per_op are the arena's counter deltas across
+/// the analysis. The no-arena overload uses a run-local arena.
+RunReport run_agreement(const RunConfig& config, util::ArenaAllocator& arena);
 
 }  // namespace setlib::core
 

@@ -87,20 +87,26 @@ PairScanResult ranked_pair_scan(const PairScanConfig& cfg,
         cfg.n, ProcSet::universe(cfg.n), cfg.i, 64);
   }
   const sched::Schedule s = sched::generate(*gen, cfg.len);
+  // Pack-once: the shared packed prefix is built on the submitting
+  // thread and borrowed read-only by every worker's scan.
   const sched::PackedSchedule packed(s);
-  const sched::RankedPairScan scan(packed, cfg.i, cfg.j);
+  const std::int64_t p_count = SubsetRanker(cfg.n, cfg.i).count();
 
   // Fixed-size P-rank chunks: the chunk space (not the thread count)
   // defines the work decomposition, so counts are bit-identical at any
-  // pool width and shards slice the chunk space contiguously.
+  // pool width and shards slice the chunk space contiguously. Each
+  // chunk scans through an arena-backed RankedPairScan on its worker's
+  // arena — the scan scratch never hits the heap, and the arena use is
+  // race-free because a worker slot runs one chunk at a time.
   constexpr std::int64_t kChunk = 8;
-  const std::int64_t chunks = (scan.p_count() + kChunk - 1) / kChunk;
+  const std::int64_t chunks = (p_count + kChunk - 1) / kChunk;
   using Chunk = sched::RankedPairScan::MemberCount;
   const std::vector<Chunk> parts = runner.map<Chunk>(
       static_cast<std::size_t>(chunks), [&](std::size_t c) {
         const std::int64_t begin = static_cast<std::int64_t>(c) * kChunk;
-        const std::int64_t end =
-            std::min(begin + kChunk, scan.p_count());
+        const std::int64_t end = std::min(begin + kChunk, p_count);
+        const sched::RankedPairScan scan(packed, cfg.i, cfg.j,
+                                         &runner.worker_arena());
         return scan.count_members(cfg.bound_cap, begin, end);
       });
 

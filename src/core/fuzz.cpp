@@ -104,10 +104,20 @@ std::vector<sched::TimelyPair> score_all_cells(
   return out;
 }
 
-std::int64_t packed_best_bound(const sched::Schedule& s, int i, int j) {
+/// Best-pair bound of one schedule, re-packing into `scratch`: the
+/// minimization loop evaluates hundreds of candidate schedules per
+/// finding, and repack() recycles the packed word storage across all
+/// of them instead of allocating a fresh PackedSchedule per eval.
+std::int64_t packed_best_bound(sched::PackedSchedule& scratch,
+                               const sched::Schedule& s, int i, int j) {
   if (s.empty()) return 1;
-  const sched::PackedSchedule packed(s);
-  return sched::RankedPairScan(packed, i, j).best_pair().bound;
+  scratch.repack(s);
+  return sched::RankedPairScan(scratch, i, j).best_pair().bound;
+}
+
+std::int64_t packed_best_bound(const sched::Schedule& s, int i, int j) {
+  sched::PackedSchedule scratch;
+  return packed_best_bound(scratch, s, i, j);
 }
 
 /// Greedy minimization: the smallest schedule this eval budget finds
@@ -116,7 +126,8 @@ std::int64_t packed_best_bound(const sched::Schedule& s, int i, int j) {
 /// length: longer prefixes only add windows). Phase 2 deletes blocks,
 /// halving the block size; every candidate is re-verified with the
 /// packed scan before it is accepted.
-sched::Schedule minimize_schedule(const sched::Schedule& s, int i, int j,
+sched::Schedule minimize_schedule(sched::PackedSchedule& scratch,
+                                  const sched::Schedule& s, int i, int j,
                                   std::int64_t target,
                                   std::int64_t max_evals) {
   std::int64_t evals = 0;
@@ -125,7 +136,7 @@ sched::Schedule minimize_schedule(const sched::Schedule& s, int i, int j,
   while (lo < hi && evals < max_evals) {
     const std::int64_t mid = lo + (hi - lo) / 2;
     ++evals;
-    if (packed_best_bound(s.slice(0, mid), i, j) >= target) {
+    if (packed_best_bound(scratch, s.slice(0, mid), i, j) >= target) {
       hi = mid;
     } else {
       lo = mid + 1;
@@ -141,7 +152,7 @@ sched::Schedule minimize_schedule(const sched::Schedule& s, int i, int j,
       const sched::Schedule cand =
           best.slice(0, pos).concat(best.slice(cut, best.size()));
       ++evals;
-      if (packed_best_bound(cand, i, j) >= target) {
+      if (packed_best_bound(scratch, cand, i, j) >= target) {
         best = cand;  // keep pos: the next block slides into place
       } else {
         pos += block;
@@ -274,6 +285,10 @@ FuzzResult fuzz_schedules(ExperimentRunner& runner,
   // depend on completion order.
   FuzzResult result;
   result.trials = options.budget;
+  // One packed instance for the whole admission phase: minimization
+  // evals and the final verification all repack into it, so a finding
+  // costs zero packed-storage churn after the first.
+  sched::PackedSchedule scratch;
   for (std::size_t trial = 0; trial < trial_scores.size(); ++trial) {
     const auto& adv = advs[trial % advs.size()];
     const std::uint64_t trial_seed =
@@ -287,10 +302,10 @@ FuzzResult fuzz_schedules(ExperimentRunner& runner,
       const sched::Schedule full = generate_trial(adv, n, len, trial_seed);
       const auto [i, j] = cells[c];
       sched::Schedule minimized = minimize_schedule(
-          full, i, j, scored.bound, options.minimize_evals);
-      const sched::PackedSchedule packed(minimized);
+          scratch, full, i, j, scored.bound, options.minimize_evals);
+      scratch.repack(minimized);
       const sched::TimelyPair final_pair =
-          sched::RankedPairScan(packed, i, j).best_pair();
+          sched::RankedPairScan(scratch, i, j).best_pair();
       SETLIB_ASSERT(final_pair.bound >= scored.bound);
       SETLIB_ASSERT(reference_best_bound(minimized, i, j) ==
                     final_pair.bound);

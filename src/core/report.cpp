@@ -176,6 +176,8 @@ void JsonSink::cell(const SweepCell& cell, const RunReport& report,
   row.steps = report.steps_executed;
   row.witness_bound = report.witness_bound;
   row.schedule_hash = report.schedule_hash;
+  row.allocs_per_op = report.allocs_per_op;
+  row.bytes_per_op = report.bytes_per_op;
   pending_.rows.push_back(row);
 }
 
@@ -187,10 +189,14 @@ void JsonSink::end_section(const SectionStats& stats) {
   std::size_t successes = 0;
   std::size_t detector_ok = 0;
   Summary witness;
+  Summary allocs;
+  Summary bytes;
   for (const CellRow& row : pending_.rows) {
     if (row.success) ++successes;
     if (row.detector_ok) ++detector_ok;
     witness.add(static_cast<double>(row.witness_bound));
+    allocs.add(static_cast<double>(row.allocs_per_op));
+    bytes.add(static_cast<double>(row.bytes_per_op));
   }
   // Percentile keys are emitted unconditionally — an empty shard's
   // section must be schema-identical to a populated one, or naive
@@ -209,6 +215,12 @@ void JsonSink::end_section(const SectionStats& stats) {
   extra.emplace_back("steps_p90", pct(stats.steps, 90.0));
   extra.emplace_back("steps_p99", pct(stats.steps, 99.0));
   extra.emplace_back("witness_bound_p90", pct(witness, 90.0));
+  // Worst-case allocation account over the section's rows: 0 here is
+  // the "steady-state cells allocate nothing" claim, checkable per
+  // artifact. Deterministic (pure function of the rows), recomputed
+  // from union rows on merge like the percentiles.
+  extra.emplace_back("allocs_per_op_max", allocs.empty() ? empty : allocs.max());
+  extra.emplace_back("bytes_per_op_max", bytes.empty() ? empty : bytes.max());
   // Multi-seed dispersion pooled across the section's rows; the
   // per-point breakdown (one group per grid point, across its
   // --repeat seeds) is rendered as the point_stats array. Both are
@@ -331,7 +343,9 @@ std::string JsonSink::render() const {
            << ", \"steps\": " << row.steps
            << ", \"witness_bound\": " << row.witness_bound
            << ", \"schedule_hash\": "
-           << json_quote(sched::hash_hex(row.schedule_hash)) << "}";
+           << json_quote(sched::hash_hex(row.schedule_hash))
+           << ", \"allocs_per_op\": " << row.allocs_per_op
+           << ", \"bytes_per_op\": " << row.bytes_per_op << "}";
       }
       os << "]";
     }
@@ -431,7 +445,8 @@ bool is_grid_stat_key(const std::string& key) {
   return key == "grid_cells" || key == "successes" ||
          key == "detector_ok" || key == "steps_p50" ||
          key == "steps_p90" || key == "steps_p99" ||
-         key == "witness_bound_p90" || key == "steps_mean" ||
+         key == "witness_bound_p90" || key == "allocs_per_op_max" ||
+         key == "bytes_per_op_max" || key == "steps_mean" ||
          key == "steps_stddev" || key == "witness_bound_mean" ||
          key == "witness_bound_stddev" || key == "success_rate" ||
          key == "repeat_factor" || key == "point_stats" ||
@@ -556,11 +571,15 @@ JsonValue merge_section(const std::vector<const JsonValue*>& parts) {
     std::size_t detector_ok = 0;
     Summary steps;
     Summary witness;
+    Summary allocs;
+    Summary bytes;
     for (const JsonValue& row : rows) {
       if (row.at("success").as_int() != 0) ++successes;
       if (row.at("detector_ok").as_int() != 0) ++detector_ok;
       steps.add(row.at("steps").as_double());
       witness.add(row.at("witness_bound").as_double());
+      allocs.add(row.at("allocs_per_op").as_double());
+      bytes.add(row.at("bytes_per_op").as_double());
     }
     const double empty = std::numeric_limits<double>::quiet_NaN();
     auto pct = [&empty](const Summary& s, double q) {
@@ -574,6 +593,10 @@ JsonValue merge_section(const std::vector<const JsonValue*>& parts) {
     out.set("steps_p90", JsonValue::of(pct(steps, 90.0)));
     out.set("steps_p99", JsonValue::of(pct(steps, 99.0)));
     out.set("witness_bound_p90", JsonValue::of(pct(witness, 90.0)));
+    out.set("allocs_per_op_max",
+            JsonValue::of(allocs.empty() ? empty : allocs.max()));
+    out.set("bytes_per_op_max",
+            JsonValue::of(bytes.empty() ? empty : bytes.max()));
     // The multi-seed dispersion keys — pooled scalars and the
     // per-point breakdown — recomputed from the union rows in shard
     // (= cell) order through the same dispersion_stats helper the

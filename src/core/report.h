@@ -248,6 +248,11 @@ class JsonSink : public ReportSink {
     // hash is pinned kSame-by-construction across merges and thread
     // counts.
     std::uint64_t schedule_hash = 0;
+    // Arena counter deltas of the cell's analysis phase (see
+    // RunReport). Deterministic facts, not timing keys: zero rows are
+    // the pack-once pipeline's no-heap-traffic evidence.
+    std::int64_t allocs_per_op = 0;
+    std::int64_t bytes_per_op = 0;
   };
   struct Section {
     std::string name;

@@ -19,6 +19,10 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options)
   if (options_.json_path.empty()) {
     options_.json_path = "BENCH_" + options_.name + ".json";
   }
+  arenas_.reserve(static_cast<std::size_t>(pool_.threads()));
+  for (int w = 0; w < pool_.threads(); ++w) {
+    arenas_.push_back(std::make_unique<util::ArenaAllocator>());
+  }
 }
 
 JsonSink ExperimentRunner::json_sink() const {
@@ -74,7 +78,13 @@ SectionStats ExperimentRunner::run(const SweepGrid& grid,
           cells.size(),
           [&](std::size_t i) {
             const WallTimer cell_timer;
-            reports[i] = run_agreement(cells[i].config);
+            // Fresh arena state per cell: reset trims overflow blocks
+            // back to the reserve, so the cell's counter deltas are a
+            // pure function of its config (not of which worker ran it
+            // or what ran before).
+            util::ArenaAllocator& arena = worker_arena();
+            arena.reset();
+            reports[i] = run_agreement(cells[i].config, arena);
             seconds[i] = cell_timer.seconds();
           },
           grain);

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "src/core/report.h"
 #include "src/core/sweep.h"
 #include "src/runtime/executor.h"
+#include "src/util/arena.h"
 
 namespace setlib::core {
 
@@ -66,6 +68,16 @@ class ExperimentRunner {
   /// The persistent pool — one set of worker threads for the runner's
   /// whole lifetime, reused by every run()/map() call.
   runtime::WorkStealingPool& pool() noexcept { return pool_; }
+
+  /// The calling thread's per-worker-slot arena. Inside a run()/map()
+  /// callback each participating thread gets its own arena (indexed by
+  /// the pool's worker slot), so callbacks may use it without locking.
+  /// Grid runs reset the arena before each cell — the determinism
+  /// contract in src/util/arena.h makes the per-cell counter deltas
+  /// independent of thread count and cell order.
+  util::ArenaAllocator& worker_arena() noexcept {
+    return *arenas_[pool_.current_slot()];
+  }
 
   /// A JsonSink wired to this runner's options (name, path, shard).
   JsonSink json_sink() const;
@@ -108,6 +120,10 @@ class ExperimentRunner {
 
   RunnerOptions options_;
   runtime::WorkStealingPool pool_;
+  // One arena per pool worker slot (slot 0 doubles as the submitting
+  // thread). unique_ptrs: arenas are non-movable and the vector is
+  // sized once at construction.
+  std::vector<std::unique_ptr<util::ArenaAllocator>> arenas_;
 };
 
 }  // namespace setlib::core

@@ -155,6 +155,13 @@ ThreadedExecutor::RunStats ThreadedExecutor::run(Pacer& pacer,
   return stats;
 }
 
+thread_local const WorkStealingPool* WorkStealingPool::tl_pool_ = nullptr;
+thread_local std::size_t WorkStealingPool::tl_slot_ = 0;
+
+std::size_t WorkStealingPool::current_slot() const noexcept {
+  return tl_pool_ == this ? tl_slot_ : 0;
+}
+
 WorkStealingPool::WorkStealingPool(int threads) {
   SETLIB_EXPECTS(threads >= 0);
   if (threads == 0) {
@@ -184,6 +191,9 @@ WorkStealingPool::~WorkStealingPool() {
 }
 
 void WorkStealingPool::worker_main(std::size_t self) {
+  // A spawned worker belongs to this pool for its whole lifetime.
+  tl_pool_ = this;
+  tl_slot_ = self;
   std::uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<Job> job;
@@ -305,7 +315,16 @@ void WorkStealingPool::for_each(std::size_t n,
       ++job_seq_;
     }
     work_cv_.notify_all();
-    work(*job, 0);  // the submitter is participant 0
+    // The submitter is participant 0 for the duration of the job; its
+    // previous identity (it may be a worker of another pool) is
+    // restored on the way out.
+    const WorkStealingPool* const prev_pool = tl_pool_;
+    const std::size_t prev_slot = tl_slot_;
+    tl_pool_ = this;
+    tl_slot_ = 0;
+    work(*job, 0);
+    tl_pool_ = prev_pool;
+    tl_slot_ = prev_slot;
     {
       const util::MutexLock lock(m_);
       while (job->remaining.load(std::memory_order_acquire) > 0) {

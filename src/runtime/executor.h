@@ -129,6 +129,14 @@ class WorkStealingPool {
     return jobs_completed_.load(std::memory_order_acquire);
   }
 
+  /// The calling thread's worker slot in THIS pool, in [0, threads()):
+  /// a pool worker reads its spawn index, the submitting thread reads
+  /// 0 while it participates in a for_each, and any foreign thread
+  /// reads 0. Stable across jobs, so it can index per-worker state
+  /// (the ExperimentRunner's per-worker arenas) — two indices running
+  /// concurrently in one for_each never observe the same slot.
+  std::size_t current_slot() const noexcept;
+
   /// Runs fn(i) exactly once for every i in [0, n); blocks until all
   /// indices completed. Exceptions thrown by fn are captured per index
   /// and the one with the smallest index is rethrown after every
@@ -165,6 +173,14 @@ class WorkStealingPool {
 
   void worker_main(std::size_t self);
   void work(Job& job, std::size_t self);
+
+  // Pool-scoped worker identity: the pool this thread last worked for
+  // and its slot there. Scoped to a (pool, slot) pair — not a bare
+  // slot — so a worker of pool A that drives a serial for_each on an
+  // unrelated pool B still reads slot 0 *for B* instead of smuggling
+  // its A-slot out of range.
+  static thread_local const WorkStealingPool* tl_pool_;
+  static thread_local std::size_t tl_slot_;
 
   int threads_;
   std::atomic<std::int64_t> threads_spawned_{0};

@@ -3,42 +3,19 @@
 #include <algorithm>
 #include <bit>
 #include <limits>
+#include <numeric>
+#include <optional>
 
+#include "src/sched/simd.h"
 #include "src/util/assert.h"
 
 namespace setlib::sched {
 
 namespace {
 
-// Shared window-walk state: P-bits delimit windows, Q-bits count inside
-// them. A step whose pid is in both P and Q is a window boundary (the
-// P-reset wins, matching the reference scan), which falls out of the
-// mask arithmetic: boundary positions are excluded from every counted
-// span.
-struct WindowScan {
-  std::int64_t current = 0;  // Q-steps since the last P-step
-  std::int64_t max_q = 0;    // largest P-free-window Q-count seen
-
-  // Consume one packed word (pw: P-bits, qw: Q-bits).
-  void word(std::uint64_t pw, std::uint64_t qw) noexcept {
-    if (pw == 0) {
-      current += std::popcount(qw);
-      if (current > max_q) max_q = current;
-      return;
-    }
-    int prev = 0;
-    do {
-      const int b = std::countr_zero(pw);
-      current += std::popcount(qw & word_range_mask(prev, b));
-      if (current > max_q) max_q = current;
-      current = 0;
-      prev = b + 1;
-      pw &= pw - 1;
-    } while (pw != 0);
-    current = std::popcount(qw & ~low_word_mask(prev));
-    if (current > max_q) max_q = current;
-  }
-};
+// The per-word window walk (P-bits delimit windows, Q-bits count
+// inside them) lives in src/sched/simd.h as walk_word/WalkState so the
+// vector kernels and this on-the-fly packer share one definition.
 
 // Packs steps [from, to) of `steps` into (P, Q) words on the fly and
 // feeds them to the window walk, continuing whatever state `scan`
@@ -46,7 +23,7 @@ struct WindowScan {
 // bit per side.
 void scan_step_range(const std::vector<Pid>& steps, std::uint64_t pmask,
                      std::uint64_t qmask, std::int64_t from,
-                     std::int64_t to, WindowScan& scan) {
+                     std::int64_t to, simd::WalkState& scan) {
   std::int64_t idx = from;
   while (idx < to) {
     const std::int64_t block_end = std::min(to, idx + kBitsPerWord);
@@ -58,7 +35,7 @@ void scan_step_range(const std::vector<Pid>& steps, std::uint64_t pmask,
       pw |= ((pmask >> pid) & 1u) * bit;
       qw |= ((qmask >> pid) & 1u) * bit;
     }
-    scan.word(pw, qw);
+    simd::walk_word(pw, qw, scan);
     idx = block_end;
   }
 }
@@ -68,7 +45,7 @@ void scan_step_range(const std::vector<Pid>& steps, std::uint64_t pmask,
 std::int64_t min_timeliness_bound(const Schedule& s, ProcSet p, ProcSet q,
                                   std::int64_t from, std::int64_t to) {
   SETLIB_EXPECTS(0 <= from && from <= to && to <= s.size());
-  WindowScan scan;
+  simd::WalkState scan;
   scan_step_range(s.steps(), p.mask(), q.mask(), from, to, scan);
   return scan.max_q + 1;
 }
@@ -110,21 +87,32 @@ bool is_timely(const Schedule& s, ProcSet p, ProcSet q, std::int64_t bound) {
 
 std::vector<std::int64_t> bound_series(const Schedule& s, ProcSet p, ProcSet q,
                                        const std::vector<std::int64_t>& cuts) {
-  std::vector<std::int64_t> out;
-  out.reserve(cuts.size());
-  const bool sorted = std::is_sorted(cuts.begin(), cuts.end());
-  if (sorted) {
+  for (std::int64_t cut : cuts) {
+    SETLIB_EXPECTS(cut >= 0 && cut <= s.size());
+  }
+  std::vector<std::int64_t> out(cuts.size());
+  if (std::is_sorted(cuts.begin(), cuts.end())) {
     BoundTracker tracker(p, q);
-    for (std::int64_t cut : cuts) {
-      SETLIB_EXPECTS(cut >= 0 && cut <= s.size());
-      tracker.extend(s, cut);
-      out.push_back(tracker.bound());
+    for (std::size_t c = 0; c < cuts.size(); ++c) {
+      tracker.extend(s, cuts[c]);
+      out[c] = tracker.bound();
     }
-  } else {
-    for (std::int64_t cut : cuts) {
-      SETLIB_EXPECTS(cut >= 0 && cut <= s.size());
-      out.push_back(min_timeliness_bound(s, p, q, 0, cut));
-    }
+    return out;
+  }
+  // Out-of-order cuts: sort an index map once and serve every cut from
+  // the same single incremental pass (a per-cut full rescan would be
+  // O(len) each, O(len * cuts) total), scattering each bound back to
+  // its request slot.
+  std::vector<std::size_t> order(cuts.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&cuts](std::size_t a, std::size_t b) {
+                     return cuts[a] < cuts[b];
+                   });
+  BoundTracker tracker(p, q);
+  for (const std::size_t c : order) {
+    tracker.extend(s, cuts[c]);
+    out[c] = tracker.bound();
   }
   return out;
 }
@@ -143,24 +131,39 @@ void BoundTracker::step(Pid pid) noexcept {
 
 void BoundTracker::extend(const Schedule& s, std::int64_t upto) {
   SETLIB_EXPECTS(position_ <= upto && upto <= s.size());
-  WindowScan scan{current_, max_q_};
+  simd::WalkState scan{current_, max_q_};
   scan_step_range(s.steps(), p_.mask(), q_.mask(), position_, upto, scan);
   current_ = scan.current;
   max_q_ = scan.max_q;
   position_ = upto;
 }
 
-PackedSchedule::PackedSchedule(const Schedule& s)
-    : n_(s.n()),
-      len_(s.size()),
-      words_((len_ + kBitsPerWord - 1) / kBitsPerWord) {
-  bits_.assign(static_cast<std::size_t>(n_) *
-                   static_cast<std::size_t>(words_),
-               0);
+PackedSchedule::PackedSchedule(const Schedule& s) { repack(s); }
+
+PackedSchedule::PackedSchedule(const Schedule& s,
+                               util::ArenaAllocator& arena)
+    : arena_(&arena) {
+  repack(s);
+}
+
+void PackedSchedule::repack(const Schedule& s) {
+  n_ = s.n();
+  len_ = s.size();
+  words_ = (len_ + kBitsPerWord - 1) / kBitsPerWord;
+  const std::size_t total =
+      static_cast<std::size_t>(n_) * static_cast<std::size_t>(words_);
+  if (arena_ != nullptr) {
+    data_ = arena_->alloc_array<std::uint64_t>(
+        static_cast<std::int64_t>(total));
+    std::fill_n(data_, total, std::uint64_t{0});
+  } else {
+    owned_.assign(total, 0);  // grow-only: capacity is recycled
+    data_ = owned_.data();
+  }
   const std::vector<Pid>& steps = s.steps();
   for (std::int64_t t = 0; t < len_; ++t) {
     const Pid p = steps[static_cast<std::size_t>(t)];
-    bits_[static_cast<std::size_t>(p) * static_cast<std::size_t>(words_) +
+    data_[static_cast<std::size_t>(p) * static_cast<std::size_t>(words_) +
           static_cast<std::size_t>(t / kBitsPerWord)] |=
         std::uint64_t{1} << (t % kBitsPerWord);
   }
@@ -168,25 +171,28 @@ PackedSchedule::PackedSchedule(const Schedule& s)
 
 const std::uint64_t* PackedSchedule::column(Pid p) const {
   SETLIB_EXPECTS(p >= 0 && p < n_);
-  return bits_.data() +
+  return data_ +
          static_cast<std::size_t>(p) * static_cast<std::size_t>(words_);
 }
 
 void PackedSchedule::or_columns(ProcSet s,
                                 std::vector<std::uint64_t>& out) const {
   out.assign(static_cast<std::size_t>(words_), 0);
+  or_columns(s, out.data());
+}
+
+void PackedSchedule::or_columns(ProcSet s, std::uint64_t* out) const {
+  std::fill_n(out, static_cast<std::size_t>(words_), std::uint64_t{0});
+  const simd::Kernels& kernels = simd::active_kernels();
   (s & ProcSet::universe(n_)).for_each([&](Pid p) {
-    const std::uint64_t* col = column(p);
-    for (std::int64_t w = 0; w < words_; ++w) {
-      out[static_cast<std::size_t>(w)] |= col[static_cast<std::size_t>(w)];
-    }
+    kernels.or_into(out, column(p), words_);
   });
 }
 
 std::int64_t PackedSchedule::bound_for(ProcSet p, ProcSet q) const {
   const ProcSet pu = p & ProcSet::universe(n_);
   const ProcSet qu = q & ProcSet::universe(n_);
-  WindowScan scan;
+  simd::WalkState scan;
   for (std::int64_t w = 0; w < words_; ++w) {
     std::uint64_t pw = 0;
     std::uint64_t qw = 0;
@@ -194,15 +200,17 @@ std::int64_t PackedSchedule::bound_for(ProcSet p, ProcSet q) const {
         [&](Pid x) { pw |= column(x)[static_cast<std::size_t>(w)]; });
     qu.for_each(
         [&](Pid x) { qw |= column(x)[static_cast<std::size_t>(w)]; });
-    scan.word(pw, qw);
+    simd::walk_word(pw, qw, scan);
   }
   return scan.max_q + 1;
 }
 
-RankedPairScan::RankedPairScan(const PackedSchedule& packed, int i, int j)
+RankedPairScan::RankedPairScan(const PackedSchedule& packed, int i, int j,
+                               util::ArenaAllocator* arena)
     : packed_(&packed),
       i_(i),
       j_(j),
+      arena_(arena),
       p_ranker_(packed.n(), i),
       q_ranker_(packed.n(), j) {
   SETLIB_EXPECTS(1 <= i && i <= packed.n());
@@ -232,7 +240,22 @@ RankedPairScan::ScanOutcome RankedPairScan::scan(std::int64_t p_begin,
   std::int64_t prune_q = mode == Mode::kBest
                              ? std::numeric_limits<std::int64_t>::max()
                              : bound_cap;
-  std::vector<std::uint64_t> pwords;
+  const simd::Kernels& kernels = simd::active_kernels();
+  // Scratch: the shared per-P OR buffer (words) plus one Q chunk. The
+  // Q side is accumulated chunk-by-chunk so the walk can still abort
+  // early on pruned pairs without paying a full-length Q OR first.
+  constexpr std::int64_t kQChunk = 64;
+  std::optional<util::FrameScope> frame;
+  std::vector<std::uint64_t> fallback;
+  std::uint64_t* pwords = nullptr;
+  if (arena_ != nullptr) {
+    frame.emplace(*arena_);
+    pwords = arena_->alloc_array<std::uint64_t>(words + kQChunk);
+  } else {
+    fallback.resize(static_cast<std::size_t>(words + kQChunk));
+    pwords = fallback.data();
+  }
+  std::uint64_t* const qbuf = pwords + words;
   for (std::int64_t pr = p_begin; pr < p_end; ++pr) {
     const ProcSet p = p_ranker_.unrank(pr);
     packed_->or_columns(p, pwords);  // shared by every observer below
@@ -240,16 +263,16 @@ RankedPairScan::ScanOutcome RankedPairScan::scan(std::int64_t p_begin,
     for (std::int64_t qr = 0; qr < q_total; ++qr) {
       const ProcSet q = q_ranker_.unrank(qr);
       ++out.pairs;
-      // Fused Q-column OR + window walk, aborted at the prune cap.
-      WindowScan window;
+      // Chunked Q-column OR + window walk, aborted at the prune cap.
+      simd::WalkState window;
       bool pruned = false;
-      for (std::int64_t w = 0; w < words && !pruned; ++w) {
-        std::uint64_t qw = 0;
+      for (std::int64_t w = 0; w < words && !pruned; w += kQChunk) {
+        const std::int64_t c = std::min<std::int64_t>(kQChunk, words - w);
+        std::fill_n(qbuf, static_cast<std::size_t>(c), std::uint64_t{0});
         q.for_each([&](Pid x) {
-          qw |= packed_->column(x)[static_cast<std::size_t>(w)];
+          kernels.or_into(qbuf, packed_->column(x) + w, c);
         });
-        window.word(pwords[static_cast<std::size_t>(w)], qw);
-        pruned = window.max_q >= prune_q;
+        pruned = kernels.window_walk(pwords + w, qbuf, c, prune_q, &window);
       }
       if (pruned) continue;
       const std::int64_t bound = window.max_q + 1;

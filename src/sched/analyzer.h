@@ -13,6 +13,12 @@
 // Pid as a bit column (64 steps per word, one timeline per process), so
 // a P-free-window scan is branch-free word operations — OR the columns
 // of P and Q, then split each word at its P-bits with mask/popcount.
+// The batched pair scan runs its OR+walk inner loop through the
+// runtime-dispatched SIMD kernel layer (src/sched/simd.h: AVX2 / NEON /
+// portable scalar, bit-identical by construction, forced-scalar via
+// SETLIB_FORCE_SCALAR for differential runs) and keeps its scratch on
+// a caller-supplied arena (src/util/arena.h) so steady-state scans
+// allocate nothing.
 // Three surfaces build on it:
 //   - min_timeliness_bound / bound_series: one-shot and per-prefix
 //     bounds. BoundTracker extends a bound incrementally by ΔS steps in
@@ -41,6 +47,7 @@
 #include <vector>
 
 #include "src/sched/schedule.h"
+#include "src/util/arena.h"
 #include "src/util/procset.h"
 
 namespace setlib::sched {
@@ -66,9 +73,10 @@ bool is_timely(const Schedule& s, ProcSet p, ProcSet q, std::int64_t bound);
 
 /// Per-phase bound series: bounds of growing prefixes cut at the given
 /// offsets. Used by the Figure 1 harness to show divergence vs.
-/// boundedness. Nondecreasing cuts (the usual case) are served by one
-/// incremental BoundTracker pass — O(len + cuts) total; out-of-order
-/// cuts fall back to independent per-cut scans.
+/// boundedness. Every cut order costs one incremental BoundTracker
+/// pass — O(len + cuts log cuts) total: out-of-order cuts are sorted
+/// with an index map once and served from the same single pass, then
+/// scattered back to request order.
 std::vector<std::int64_t> bound_series(const Schedule& s, ProcSet p, ProcSet q,
                                        const std::vector<std::int64_t>& cuts);
 
@@ -113,9 +121,35 @@ class BoundTracker {
 /// steps per word. Column p has bit t set iff step t is taken by p.
 /// Built once, a PackedSchedule serves every pair scan over the same
 /// prefix (SystemMembership, RankedPairScan) with pure word ops.
+///
+/// Pack-once ownership contract (docs/MEMORY.md): whoever executes a
+/// schedule packs it exactly once — on its per-cell arena when it has
+/// one — and every downstream consumer (engine report, pair scans,
+/// frontier checks) borrows that instance read-only. repack() recycles
+/// the word storage across schedules, so a loop that analyzes many
+/// schedules (the fuzzer's minimization evals, the frontier's cell
+/// loop) allocates its words once.
 class PackedSchedule {
  public:
+  /// Empty (n = 0, size = 0): a repack target for reuse loops.
+  PackedSchedule() noexcept = default;
   explicit PackedSchedule(const Schedule& s);
+  /// Words live on `arena` (no heap traffic when the arena's reserve
+  /// covers them). The arena must outlive the object, and the caller's
+  /// frame discipline governs the storage — repack() on an
+  /// arena-backed instance bumps fresh words from the arena.
+  PackedSchedule(const Schedule& s, util::ArenaAllocator& arena);
+
+  // The word storage is borrowed by reference everywhere (column()
+  // pointers); copying would silently fork it.
+  PackedSchedule(const PackedSchedule&) = delete;
+  PackedSchedule& operator=(const PackedSchedule&) = delete;
+
+  /// Re-packs `s` into this instance, recycling the word storage:
+  /// heap-backed instances reuse their vector capacity (grow-only),
+  /// arena-backed ones bump a fresh span. Invalidates column()
+  /// pointers.
+  void repack(const Schedule& s);
 
   int n() const noexcept { return n_; }
   std::int64_t size() const noexcept { return len_; }
@@ -129,15 +163,21 @@ class PackedSchedule {
   /// OR of the member columns of `s` (members >= n() are ignored) into
   /// `out`, resized to words(). The packed form of "a step of the set".
   void or_columns(ProcSet s, std::vector<std::uint64_t>& out) const;
+  /// Same, into a caller-owned buffer of words() words (overwritten).
+  void or_columns(ProcSet s, std::uint64_t* out) const;
 
   /// min_timeliness_bound(s, p, q) over the packed prefix.
   std::int64_t bound_for(ProcSet p, ProcSet q) const;
 
  private:
-  int n_;
-  std::int64_t len_;
-  std::int64_t words_;
-  std::vector<std::uint64_t> bits_;  // column-major: [p * words_ + w]
+  int n_ = 0;
+  std::int64_t len_ = 0;
+  std::int64_t words_ = 0;
+  // Column-major words: [p * words_ + w]. data_ points into owned_
+  // (heap-backed) or into arena_ storage (arena-backed).
+  std::vector<std::uint64_t> owned_;
+  util::ArenaAllocator* arena_ = nullptr;
+  std::uint64_t* data_ = nullptr;
 };
 
 struct TimelyPair {
@@ -156,7 +196,14 @@ struct TimelyPair {
 /// partition of [0, p_count()) compose to the full-range result.
 class RankedPairScan {
  public:
-  RankedPairScan(const PackedSchedule& packed, int i, int j);
+  /// With an arena, per-call scratch (the shared P OR-buffer and the
+  /// chunked Q OR-buffer) is bump-allocated inside a FrameScope per
+  /// scan call instead of hitting the heap. The arena is mutated by
+  /// the (const) scan calls, so a scan object with an arena belongs to
+  /// one thread — pool consumers build one RankedPairScan per worker
+  /// over the shared PackedSchedule.
+  RankedPairScan(const PackedSchedule& packed, int i, int j,
+                 util::ArenaAllocator* arena = nullptr);
 
   int i() const noexcept { return i_; }
   int j() const noexcept { return j_; }
@@ -210,6 +257,7 @@ class RankedPairScan {
   const PackedSchedule* packed_;
   int i_;
   int j_;
+  util::ArenaAllocator* arena_;  // scratch home; nullptr = heap
   SubsetRanker p_ranker_;
   SubsetRanker q_ranker_;
 };

@@ -1,0 +1,172 @@
+// ArenaAllocator's determinism contract (src/util/arena.h): counters
+// track upstream overflow traffic only, reset() trims back to the
+// just-constructed shape, FrameScope rewinds LIFO and frees frame
+// blocks — so the counter deltas of a request sequence are a pure
+// function of (sequence, reserve size).
+#include "src/util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace setlib::util {
+namespace {
+
+TEST(ArenaTest, ReserveFitsWithoutUpstreamTraffic) {
+  ArenaAllocator arena(4096);
+  EXPECT_EQ(arena.allocs(), 0);
+  EXPECT_EQ(arena.bytes(), 0);
+  for (int i = 0; i < 16; ++i) {
+    void* p = arena.allocate(128);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xab, 128);  // the memory is really writable
+  }
+  // 16 * 128 = 2048 <= 4096: everything fit in the eager reserve.
+  EXPECT_EQ(arena.allocs(), 0);
+  EXPECT_EQ(arena.bytes(), 0);
+  EXPECT_EQ(arena.in_use(), 2048u);
+  EXPECT_EQ(arena.high_water(), 2048u);
+}
+
+TEST(ArenaTest, AlignmentIsHonored) {
+  ArenaAllocator arena(4096);
+  arena.allocate(1);  // misalign the bump offset
+  // kMaxAlign (64) is the ceiling; block bases are pre-aligned to it.
+  for (const std::size_t align : {2u, 8u, 16u, 32u, 64u}) {
+    void* p = arena.allocate(16, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align " << align;
+  }
+}
+
+TEST(ArenaTest, OverflowIsCountedAndDeterministic) {
+  ArenaAllocator arena(1024);
+  arena.allocate(1024);  // fills the reserve exactly
+  EXPECT_EQ(arena.allocs(), 0);
+  arena.allocate(64);  // forces one overflow block
+  EXPECT_EQ(arena.allocs(), 1);
+  const std::int64_t first_bytes = arena.bytes();
+  EXPECT_GE(first_bytes, 64);
+
+  // The same sequence on a fresh arena of the same reserve produces
+  // the same counters — the pure-function claim.
+  ArenaAllocator twin(1024);
+  twin.allocate(1024);
+  twin.allocate(64);
+  EXPECT_EQ(twin.allocs(), arena.allocs());
+  EXPECT_EQ(twin.bytes(), arena.bytes());
+}
+
+TEST(ArenaTest, ResetRestoresTheJustConstructedShape) {
+  ArenaAllocator arena(512);
+  // Burst past the reserve: several overflow blocks.
+  for (int i = 0; i < 8; ++i) arena.allocate(512);
+  const std::int64_t allocs_after_burst = arena.allocs();
+  EXPECT_GT(allocs_after_burst, 0);
+
+  // After reset, an identical burst acquires exactly the same number
+  // of upstream blocks again — reset really returned the overflow
+  // blocks instead of keeping them warm.
+  arena.reset();
+  EXPECT_EQ(arena.in_use(), 0u);
+  for (int i = 0; i < 8; ++i) arena.allocate(512);
+  EXPECT_EQ(arena.allocs(), 2 * allocs_after_burst);
+}
+
+TEST(ArenaTest, CountersAreMonotoneAcrossResetAndRewind) {
+  ArenaAllocator arena(256);
+  arena.allocate(1024);  // overflow
+  const std::int64_t allocs = arena.allocs();
+  const std::int64_t bytes = arena.bytes();
+  arena.reset();
+  // Freeing never un-counts.
+  EXPECT_EQ(arena.allocs(), allocs);
+  EXPECT_EQ(arena.bytes(), bytes);
+}
+
+TEST(ArenaTest, ReuseWithinReserveNeverReallocates) {
+  // The steady-state claim: a per-cell loop that resets and re-runs a
+  // fitting workload reports a zero delta every cell.
+  ArenaAllocator arena(1 << 16);
+  for (int cell = 0; cell < 50; ++cell) {
+    arena.reset();
+    const std::int64_t before = arena.allocs();
+    for (int i = 0; i < 32; ++i) arena.alloc_array<std::uint64_t>(128);
+    EXPECT_EQ(arena.allocs() - before, 0) << "cell " << cell;
+  }
+}
+
+TEST(ArenaTest, FrameScopeRewindsTheBumpOffset) {
+  ArenaAllocator arena(4096);
+  arena.allocate(100);
+  const std::size_t outer = arena.in_use();
+  void* first = nullptr;
+  {
+    const FrameScope frame(arena);
+    first = arena.allocate(200);
+    EXPECT_GT(arena.in_use(), outer);
+  }
+  EXPECT_EQ(arena.in_use(), outer);
+  // The next allocation reuses the rewound region.
+  EXPECT_EQ(arena.allocate(200), first);
+}
+
+TEST(ArenaTest, FrameScopeFreesFrameOverflowBlocks) {
+  ArenaAllocator arena(256);
+  const std::int64_t before = arena.allocs();
+  {
+    const FrameScope frame(arena);
+    arena.allocate(4096);  // overflow inside the frame
+    EXPECT_EQ(arena.allocs(), before + 1);
+  }
+  // Re-entering an identical frame acquires a fresh block: the frame's
+  // blocks went back to the heap on rewind (so repeated frames are
+  // reproducible), and the counter stays monotone.
+  {
+    const FrameScope frame(arena);
+    arena.allocate(4096);
+    EXPECT_EQ(arena.allocs(), before + 2);
+  }
+}
+
+TEST(ArenaTest, NestedFramesRewindLifo) {
+  ArenaAllocator arena(4096);
+  const std::size_t base = arena.in_use();
+  {
+    const FrameScope outer_frame(arena);
+    arena.allocate(64);
+    const std::size_t mid = arena.in_use();
+    {
+      const FrameScope inner_frame(arena);
+      arena.allocate(64);
+      EXPECT_GT(arena.in_use(), mid);
+    }
+    EXPECT_EQ(arena.in_use(), mid);
+  }
+  EXPECT_EQ(arena.in_use(), base);
+}
+
+TEST(ArenaTest, HighWaterTracksThePeak) {
+  ArenaAllocator arena(1 << 16);
+  {
+    const FrameScope frame(arena);
+    arena.allocate(5000);
+  }
+  arena.allocate(100);
+  EXPECT_GE(arena.high_water(), 5000u);  // peak survives the rewind
+}
+
+TEST(ArenaTest, AllocArrayIsTypedAndAligned) {
+  ArenaAllocator arena(4096);
+  arena.allocate(1);
+  std::uint64_t* words = arena.alloc_array<std::uint64_t>(8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(words) %
+                alignof(std::uint64_t),
+            0u);
+  for (int i = 0; i < 8; ++i) words[i] = 42;  // writable
+}
+
+}  // namespace
+}  // namespace setlib::util
